@@ -1,0 +1,392 @@
+(* nocliques — command-line front end to the No-Cliques-Allowed toolkit.
+
+   Subcommands:
+     chase       run the oblivious chase on a program file
+     rewrite     UCQ-rewrite a query against the file's rules
+     properties  syntactic + bdd report for a rule set
+     surgery     run the Section-4 regalization pipeline
+     analyze     full Section-5 valley/witness analysis
+     tournament  Theorem-1 verdict (tournament vs loop)
+     zoo         list or dump the built-in rule sets
+*)
+
+open Cmdliner
+module Cterm = Cmdliner.Term
+open Nca_logic
+module Chase = Nca_chase.Chase
+module Rewrite = Nca_rewriting.Rewrite
+module Bdd = Nca_rewriting.Bdd
+module Pipeline = Nca_surgery.Pipeline
+module Properties = Nca_surgery.Properties
+module Rulesets = Nca_core.Rulesets
+module Theorem1 = Nca_core.Theorem1
+module Witness = Nca_core.Witness
+module Valley = Nca_core.Valley
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Rulesets.zoo |> List.find_opt (fun e -> e.Rulesets.name = path) with
+  | Some entry ->
+      Parser.
+        { facts = entry.instance; rules = entry.rules; queries = [] }
+  | None -> Parser.parse_program (read_file path)
+
+(* common args *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Program file (facts, rules, queries), or the name of a built-in \
+           rule set (see $(b,zoo)).")
+
+let depth_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "d"; "depth" ] ~docv:"N" ~doc:"Chase depth budget.")
+
+let max_atoms_arg =
+  Arg.(
+    value & opt int 20000
+    & info [ "max-atoms" ] ~docv:"N" ~doc:"Chase size budget (atoms).")
+
+let rounds_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "rounds" ] ~docv:"N" ~doc:"Rewriting rounds budget.")
+
+let edge_arg =
+  Arg.(
+    value & opt string "E"
+    & info [ "e"; "edge" ] ~docv:"PRED"
+        ~doc:"Binary predicate used for tournament and loop queries.")
+
+(* chase *)
+
+let chase_cmd =
+  let run file depth max_atoms print_instance explain =
+    let prog = load file in
+    let c = Chase.run ~max_depth:depth ~max_atoms prog.facts prog.rules in
+    Fmt.pr "chase: %a@." Chase.pp_stats c;
+    if print_instance then Fmt.pr "%a@." Instance.pp c.instance;
+    if explain then begin
+      let invented = Term.Set.elements (Chase.invented c) in
+      let deepest =
+        List.sort
+          (fun a b ->
+            Int.compare (Chase.timestamp c b) (Chase.timestamp c a))
+          invented
+      in
+      match deepest with
+      | [] -> Fmt.pr "no invented terms to explain@."
+      | t :: _ ->
+          Fmt.pr "derivation of the deepest invented term:@.%a@."
+            Nca_chase.Derivation.pp
+            (Nca_chase.Derivation.of_term c t)
+    end;
+    List.iter
+      (fun q -> Fmt.pr "%a  ⊨ %b@." Cq.pp q (Cq.holds c.instance q))
+      prog.queries;
+    0
+  in
+  let print_arg =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print the chase instance.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the derivation trace of the deepest invented term.")
+  in
+  Cmd.v
+    (Cmd.info "chase" ~doc:"Run the oblivious chase and answer the queries.")
+    Cterm.(
+      const run $ file_arg $ depth_arg $ max_atoms_arg $ print_arg
+      $ explain_arg)
+
+(* rewrite *)
+
+let rewrite_cmd =
+  let run file rounds query =
+    let prog = load file in
+    let q =
+      match (query, prog.queries) with
+      | Some src, _ -> Parser.query src
+      | None, q :: _ -> q
+      | None, [] ->
+          Fmt.epr "no query in %s and none given with --query@." file;
+          exit 1
+    in
+    let out = Rewrite.rewrite ~max_rounds:rounds prog.rules q in
+    Fmt.pr "rewriting of %a@." Cq.pp q;
+    Fmt.pr "complete=%b rounds=%d disjuncts=%d generated=%d@." out.complete
+      out.rounds (Ucq.size out.ucq) out.generated;
+    Fmt.pr "%a@." Ucq.pp out.ucq;
+    0
+  in
+  let query_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"QUERY"
+          ~doc:"Query to rewrite, e.g. \"?(x,y) E(x,y)\".")
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Compute a UCQ rewriting (backward chaining).")
+    Cterm.(const run $ file_arg $ rounds_arg $ query_arg)
+
+(* properties *)
+
+let properties_cmd =
+  let run file rounds =
+    let prog = load file in
+    Fmt.pr "%a@." Properties.pp_report (Properties.describe prog.rules);
+    let verdicts =
+      Bdd.for_signature ~max_rounds:rounds prog.rules
+        (Rule.signature prog.rules)
+    in
+    List.iter
+      (fun (v : Bdd.verdict) ->
+        Fmt.pr "%a: %s (|UCQ|=%d)@." Cq.pp v.query
+          (match v.constant with
+          | Some k -> Fmt.str "bdd, constant ≤ %d" k
+          | None -> "no fixpoint within budget")
+          (Ucq.size v.rewriting))
+      verdicts;
+    Fmt.pr "bdd certified (all atomic queries): %b@."
+      (Bdd.certified verdicts);
+    0
+  in
+  Cmd.v
+    (Cmd.info "properties"
+       ~doc:"Report syntactic properties and bdd verdicts per atomic query.")
+    Cterm.(const run $ file_arg $ rounds_arg)
+
+(* surgery *)
+
+let surgery_cmd =
+  let run file verify print_rules =
+    let prog = load file in
+    let p = Pipeline.regalize prog.facts prog.rules in
+    List.iter
+      (fun (s : Pipeline.step) ->
+        Fmt.pr "step %-12s rules=%-3d %s@." s.label (List.length s.rules)
+          s.note)
+      p.steps;
+    Fmt.pr "complete=%b final: %a@." p.complete Properties.pp_report
+      (Pipeline.final_report p);
+    if print_rules then Fmt.pr "%a@." Rule.pp_set p.final;
+    if verify then
+      List.iter
+        (fun (label, ok) -> Fmt.pr "chase preserved after %-12s %b@." label ok)
+        (Pipeline.verify_chase_preservation ~depth:3 prog.facts prog.rules p);
+    0
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Check chase preservation (Cor. 15, Lemmas 19/24/30) on this \
+                input.")
+  in
+  let print_arg =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print the final rule set.")
+  in
+  Cmd.v
+    (Cmd.info "surgery"
+       ~doc:"Run the Section-4 regalization pipeline on the rule set.")
+    Cterm.(const run $ file_arg $ verify_arg $ print_arg)
+
+(* analyze *)
+
+let analyze_cmd =
+  let run file depth edge =
+    let prog = load file in
+    let e = Symbol.make edge 2 in
+    let p = Pipeline.regalize prog.facts prog.rules in
+    Fmt.pr "regalized: %d rules, complete=%b@." (List.length p.final)
+      p.complete;
+    let t = Witness.analyze ~depth ~e p.final in
+    Fmt.pr "Ch(R∃): %a@." Chase.pp_stats t.chase_ex;
+    Fmt.pr "|Q_⊠| = %d (complete=%b)@." (Ucq.size t.rewriting)
+      t.rewriting_complete;
+    let edges = Witness.edges t in
+    Fmt.pr "E-edges in Ch(Ch(R∃),R_DL): %d@." (List.length edges);
+    List.iter
+      (fun (s, tt) ->
+        match Witness.valley_witness t s tt with
+        | Some (q, _) ->
+            Fmt.pr "E(%a,%a): valley witness (%a)@." Term.pp s Term.pp tt
+              Valley.pp_shape (Valley.shape q)
+        | None ->
+            Fmt.pr "E(%a,%a): NO valley witness (budget?)@." Term.pp s
+              Term.pp tt)
+      edges;
+    let g = Nca_graph.Digraph.of_instance e t.full in
+    Fmt.pr "max tournament=%d loop=%b bound R(4,…,4)=%d@."
+      (Nca_graph.Tournament.max_tournament_size g)
+      (Cq.holds t.full (Cq.loop_query e))
+      (Theorem1.tournament_size_bound
+         ~rewriting_disjuncts:(Ucq.size t.rewriting));
+    0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Full Section-5 analysis: witnesses, valleys, tournament bound.")
+    Cterm.(const run $ file_arg $ depth_arg $ edge_arg)
+
+(* tournament *)
+
+let tournament_cmd =
+  let run file depth max_atoms edge =
+    let prog = load file in
+    let e = Symbol.make edge 2 in
+    let v =
+      Theorem1.validate ~max_depth:depth ~max_atoms ~e prog.facts prog.rules
+    in
+    Fmt.pr "%a@." Theorem1.pp_verdict v;
+    (if v.tournament <> [] then
+       Fmt.pr "tournament: {%a}@."
+         Fmt.(list ~sep:comma Term.pp)
+         v.tournament);
+    Fmt.pr "Theorem 1 shadow (threshold 4): %b@."
+      (Theorem1.implication_holds ~threshold:4 v);
+    0
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:"Measure the largest E-tournament and loop entailment.")
+    Cterm.(const run $ file_arg $ depth_arg $ max_atoms_arg $ edge_arg)
+
+(* dot *)
+
+let dot_cmd =
+  let run file depth edge out =
+    let prog = load file in
+    let e = Symbol.make edge 2 in
+    let c = Chase.run ~max_depth:depth prog.facts prog.rules in
+    let g = Nca_graph.Digraph.of_instance e c.instance in
+    let highlight =
+      Term.Set.of_list (Nca_graph.Tournament.max_tournament g)
+    in
+    let doc = Nca_graph.Dot.of_graph ~name:file ~highlight g in
+    (match out with
+    | None -> print_string doc
+    | Some path ->
+        let oc = open_out path in
+        output_string oc doc;
+        close_out oc;
+        Fmt.pr "wrote %s (max tournament highlighted)@." path);
+    0
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT here.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Export the chase E-graph as Graphviz DOT, largest tournament \
+             highlighted.")
+    Cterm.(const run $ file_arg $ depth_arg $ edge_arg $ out_arg)
+
+(* classes *)
+
+let classes_cmd =
+  let run file =
+    let prog = load file in
+    Fmt.pr "%a@." Nca_surgery.Classes.pp
+      (Nca_surgery.Classes.classify prog.rules);
+    (match Nca_chase.Acyclicity.offending_cycle prog.rules with
+    | None -> Fmt.pr "weakly acyclic: chase terminates on every instance@."
+    | Some cycle ->
+        Fmt.pr "position cycle through a special edge: %a@."
+          Fmt.(list ~sep:(any " → ") Nca_chase.Acyclicity.pp_position)
+          cycle);
+    0
+  in
+  Cmd.v
+    (Cmd.info "classes"
+       ~doc:
+         "Classify the rule set (linear / guarded / sticky / weakly \
+          acyclic).")
+    Cterm.(const run $ file_arg)
+
+(* finite *)
+
+let finite_cmd =
+  let run file fresh edge forbid_loop =
+    let prog = load file in
+    let e = Symbol.make edge 2 in
+    let forbid = if forbid_loop then Some (Cq.loop_query e) else None in
+    (match Nca_chase.Finite_model.search ~fresh ?forbid prog.facts prog.rules with
+    | Model m ->
+        Fmt.pr "finite model (%d atoms): %a@." (Instance.cardinal m)
+          Instance.pp m;
+        Fmt.pr "Loop_%s holds in it: %b@." edge
+          (Cq.holds m (Cq.loop_query e))
+    | No_model ->
+        Fmt.pr
+          "no such finite model with %d extra elements (search exhausted)@."
+          fresh
+    | Budget -> Fmt.pr "search budget exhausted — no verdict@.");
+    0
+  in
+  let fresh_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "fresh" ] ~docv:"N" ~doc:"Extra domain elements.")
+  in
+  let forbid_arg =
+    Arg.(
+      value & flag
+      & info [ "forbid-loop" ]
+          ~doc:"Only accept models without an E-loop — refuting this shows \
+                every finite model has one.")
+  in
+  Cmd.v
+    (Cmd.info "finite"
+       ~doc:"Search for a finite model (the finite side of fc).")
+    Cterm.(const run $ file_arg $ fresh_arg $ edge_arg $ forbid_arg)
+
+(* zoo *)
+
+let zoo_cmd =
+  let run name =
+    (match name with
+    | None ->
+        List.iter
+          (fun (e : Rulesets.entry) ->
+            Fmt.pr "%-14s %s@." e.name e.description)
+          Rulesets.zoo
+    | Some n ->
+        let e = Rulesets.find n in
+        Fmt.pr "# %s — %s@." e.name e.description;
+        Instance.iter (fun a -> Fmt.pr "%a.@." Atom.pp a) e.instance;
+        List.iter (fun r -> Fmt.pr "%a.@." Rule.pp r) e.rules);
+    0
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Entry to dump (omit to list).")
+  in
+  Cmd.v
+    (Cmd.info "zoo" ~doc:"List or dump the built-in rule sets.")
+    Cterm.(const run $ name_arg)
+
+let () =
+  let doc = "the No-Cliques-Allowed toolkit for existential rules" in
+  let info = Cmd.info "nocliques" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+    [ chase_cmd; rewrite_cmd; properties_cmd; surgery_cmd; analyze_cmd;
+      tournament_cmd; classes_cmd; finite_cmd; dot_cmd; zoo_cmd ]))

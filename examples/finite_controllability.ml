@@ -1,0 +1,69 @@
+(* Finite controllability, computed.
+
+   A rule set is finitely controllable (fc) when entailment over all
+   models and over finite models coincide. Example 1 (successor +
+   transitivity) is the standard witness that arbitrary rule sets are
+   not fc: the chase — an infinite universal model — has no E-loop, yet
+   every finite model must close a cycle.
+
+   Both sides become computations here:
+   - the unrestricted side is the chase: Loop_E does not hold;
+   - the finite side is a bounded model search with the loop forbidden:
+     it exhausts its space at every domain budget, so no loop-free
+     finite model exists.
+
+   The same computation on the bdd repair shows why it is not a
+   counterexample to (bdd ⇒ fc): there the chase itself entails the loop
+   (Theorem 1 at work), so both semantics agree. *)
+
+open Nca_logic
+module Chase = Nca_chase.Chase
+module Finite_model = Nca_chase.Finite_model
+module Rulesets = Nca_core.Rulesets
+
+let loop e = Cq.loop_query e
+
+let side_by_side (entry : Rulesets.entry) =
+  Fmt.pr "@.== %s ==@.%a@." entry.name Rule.pp_set entry.rules;
+  let chase = Chase.run ~max_depth:5 entry.instance entry.rules in
+  let unrestricted = Cq.holds chase.instance (loop entry.e) in
+  Fmt.pr "unrestricted semantics (chase, %a): Loop_E %s@." Chase.pp_stats
+    chase
+    (if unrestricted then "ENTAILED" else "not entailed");
+  List.iter
+    (fun fresh ->
+      match
+        Finite_model.loop_free_model_exists ~fresh ~e:entry.e entry.instance
+          entry.rules
+      with
+      | Some true ->
+          Fmt.pr "  finite, +%d elements: loop-free model EXISTS@." fresh
+      | Some false ->
+          Fmt.pr
+            "  finite, +%d elements: every model has a loop (search \
+             exhausted)@."
+            fresh
+      | None -> Fmt.pr "  finite, +%d elements: budget exhausted@." fresh)
+    [ 0; 1; 2 ];
+  (match Finite_model.search ~fresh:1 entry.instance entry.rules with
+  | Model m ->
+      Fmt.pr "  a smallest-effort finite model: %a (loop: %b)@." Instance.pp
+        m
+        (Cq.holds m (loop entry.e))
+  | No_model -> Fmt.pr "  no finite model within budget@."
+  | Budget -> Fmt.pr "  model search budget exhausted@.");
+  unrestricted
+
+let () =
+  let u1 = side_by_side Rulesets.example1 in
+  let u2 = side_by_side Rulesets.example1_bdd in
+  Fmt.pr
+    "@.Example 1: unrestricted ⊭ Loop_E (%b) but finite ⊨ Loop_E — the two \
+     semantics diverge; the rule set is not fc (and not bdd).@."
+    u1;
+  Fmt.pr
+    "Repaired bdd variant: the chase already entails Loop_E (%b) — no \
+     divergence, consistent with (bdd ⇒ fc).@."
+    u2;
+  assert (not u1);
+  assert u2

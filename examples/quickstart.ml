@@ -1,0 +1,24 @@
+open Nca_logic
+
+let () =
+  (* Example 1 of the paper *)
+  let rules = Parser.parse_rules
+    {| succ: E(x,y) -> E(y,z).
+       trans: E(x,y), E(y,z) -> E(x,z). |} in
+  let db = Parser.instance "E(a,b)" in
+  Fmt.pr "rules:@.%a@." Rule.pp_set rules;
+  let chase = Nca_chase.Chase.run ~max_depth:4 db rules in
+  Fmt.pr "chase: %a@." Nca_chase.Chase.pp_stats chase;
+  let loop = Cq.loop_query (Symbol.make "E" 2) in
+  Fmt.pr "loop entailed: %b@." (Nca_chase.Chase.entails chase loop);
+  (* rewriting of E(x0,x1) under the bdd variant *)
+  let bddrules = Parser.parse_rules
+    {| succ: E(x,y) -> E(y,z).
+       short: E(x,x1), E(y,y1) -> E(x,y1). |} in
+  let q = Cq.atom_query (Symbol.make "E" 2) in
+  let out = Nca_rewriting.Rewrite.rewrite bddrules q in
+  Fmt.pr "rewriting of E: complete=%b rounds=%d size=%d@.%a@."
+    out.complete out.rounds (Ucq.size out.ucq) Ucq.pp out.ucq;
+  let out1 = Nca_rewriting.Rewrite.rewrite rules q in
+  Fmt.pr "rewriting under Example1: complete=%b rounds=%d size=%d@."
+    out1.complete out1.rounds (Ucq.size out1.ucq)

@@ -1,0 +1,34 @@
+open Nca_logic
+
+let () =
+  let entry = Nca_core.Rulesets.example1_bdd in
+  Fmt.pr "== %s ==@.%a@." entry.name Rule.pp_set entry.rules;
+  let pipeline = Nca_surgery.Pipeline.regalize entry.instance entry.rules in
+  Fmt.pr "pipeline complete=%b, final rules=%d@." pipeline.complete
+    (List.length pipeline.final);
+  Fmt.pr "final properties: %a@." Nca_surgery.Properties.pp_report
+    (Nca_surgery.Pipeline.final_report pipeline);
+  let t = Nca_core.Witness.analyze ~depth:4 ~e:entry.e pipeline.final in
+  Fmt.pr "Ch(R∃): %a@." Nca_chase.Chase.pp_stats t.chase_ex;
+  Fmt.pr "Ch(R∃) DAG: %b@."
+    (Nca_graph.Digraph.Term_graph.is_dag
+       (Nca_graph.Digraph.of_instance entry.e t.chase_ex.instance));
+  Fmt.pr "full atoms=%d, E-edges=%d, Q_inj size=%d complete=%b@."
+    (Instance.cardinal t.full)
+    (List.length (Nca_core.Witness.edges t))
+    (Ucq.size t.rewriting) t.rewriting_complete;
+  (match Nca_core.Witness.edges t with
+  | (s, tt) :: _ ->
+      Fmt.pr "first edge: E(%a,%a)@." Term.pp s Term.pp tt;
+      let ws = Nca_core.Witness.witnesses t s tt in
+      Fmt.pr "|W(s,t)| = %d@." (List.length ws);
+      (match Nca_core.Witness.valley_witness t s tt with
+      | Some (q, _) ->
+          Fmt.pr "valley witness: %a (shape %a)@." Cq.pp q
+            Nca_core.Valley.pp_shape (Nca_core.Valley.shape q)
+      | None -> Fmt.pr "no valley witness found@.")
+  | [] -> Fmt.pr "no E edges@.");
+  let g = Nca_graph.Digraph.of_instance entry.e t.full in
+  Fmt.pr "max tournament in full: %d; loop: %b@."
+    (Nca_graph.Tournament.max_tournament_size g)
+    (Cq.holds t.full (Cq.loop_query entry.e))

@@ -1,0 +1,98 @@
+open Nca_logic
+
+type position = Symbol.t * int
+
+type edge = { source : position; target : position; special : bool }
+
+let positions_of_var atoms x =
+  List.concat_map
+    (fun a ->
+      List.mapi
+        (fun i t -> if Term.equal t x then Some (Atom.pred a, i) else None)
+        (Atom.args a)
+      |> List.filter_map Fun.id)
+    atoms
+
+let dependency_graph rules =
+  List.concat_map
+    (fun r ->
+      let body = Rule.body r and head = Rule.head r in
+      let frontier = Rule.frontier r in
+      let exist = Rule.exist_vars r in
+      Term.Set.fold
+        (fun x acc ->
+          let body_positions = positions_of_var body x in
+          let head_positions = positions_of_var head x in
+          let regular =
+            List.concat_map
+              (fun source ->
+                List.map
+                  (fun target -> { source; target; special = false })
+                  head_positions)
+              body_positions
+          in
+          let special =
+            Term.Set.fold
+              (fun z acc ->
+                List.concat_map
+                  (fun source ->
+                    List.map
+                      (fun target -> { source; target; special = true })
+                      (positions_of_var head z))
+                  body_positions
+                @ acc)
+              exist []
+          in
+          regular @ special @ acc)
+        frontier [])
+    rules
+
+module PG = Nca_graph.Digraph.Make (struct
+  type t = position
+
+  let compare (p, i) (q, j) =
+    match Symbol.compare p q with 0 -> Int.compare i j | c -> c
+
+  let pp ppf (p, i) = Fmt.pf ppf "%a.%d" Symbol.pp_name p i
+end)
+
+(* A cycle through a special edge (s, t) exists iff t reaches s. *)
+let find_special_cycle rules =
+  let edges = dependency_graph rules in
+  let g =
+    List.fold_left
+      (fun g e -> PG.add_edge e.source e.target g)
+      PG.empty edges
+  in
+  List.find_map
+    (fun e ->
+      if not e.special then None
+      else if e.source = e.target || PG.reaches e.target e.source g then
+        Some (e.source, e.target, g)
+      else None)
+    edges
+
+let is_weakly_acyclic rules = Option.is_none (find_special_cycle rules)
+
+let offending_cycle rules =
+  Option.map
+    (fun (s, t, g) ->
+      (* reconstruct a path t →* s by DFS *)
+      let rec path visited v =
+        if v = s then Some [ v ]
+        else if List.mem v visited then None
+        else
+          PG.VSet.fold
+            (fun w acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  Option.map (fun p -> v :: p) (path (v :: visited) w))
+            (PG.succs v g) None
+      in
+      match if s = t then Some [ t ] else path [] t with
+      | Some p -> s :: p
+      | None -> [ s; t ])
+    (find_special_cycle rules)
+
+let pp_position ppf (p, i) = Fmt.pf ppf "%a.%d" Symbol.pp_name p i

@@ -1,0 +1,30 @@
+(** Weak acyclicity — the classical chase-termination criterion.
+
+    The paper's introduction points to acyclicity-based conditions
+    [Fagin et al., "Data exchange: semantics and query answering"] as the
+    standard way to ensure a finite chase. A rule set is {e weakly
+    acyclic} when its position dependency graph — positions [(P, i)] with
+    a {e regular} edge when a frontier variable is copied from a body
+    position to a head position, and a {e special} edge from each
+    frontier-variable body position to each position holding an
+    existential variable of the same rule — has no cycle through a
+    special edge. The oblivious chase of a weakly acyclic rule set
+    terminates on every instance. *)
+
+open Nca_logic
+
+type position = Symbol.t * int
+(** A predicate position, 0-based. *)
+
+type edge = { source : position; target : position; special : bool }
+
+val dependency_graph : Rule.t list -> edge list
+(** All edges of the position dependency graph. *)
+
+val is_weakly_acyclic : Rule.t list -> bool
+
+val offending_cycle : Rule.t list -> position list option
+(** A cycle through a special edge (as its vertex list), when one
+    exists — a certificate of potential non-termination. *)
+
+val pp_position : position Fmt.t

@@ -1,0 +1,155 @@
+open Nca_logic
+
+type provenance = {
+  rule : Rule.t;
+  hom : Subst.t;
+  extension : Subst.t;
+  level : int;
+}
+
+type t = {
+  instance : Instance.t;
+  levels : Instance.t list;
+  depth : int;
+  saturated : bool;
+  truncated : bool;
+  timestamps : int Term.Map.t;
+  provenance : provenance Term.Map.t;
+}
+
+let stamp_terms level terms stamps =
+  Term.Set.fold
+    (fun t acc ->
+      if Term.Map.mem t acc then acc else Term.Map.add t level acc)
+    terms stamps
+
+type variant = Oblivious | Semi_oblivious | Restricted
+
+(* Semi-oblivious identity: rule + ordered frontier bindings. *)
+let frontier_key tr =
+  let rule = tr.Trigger.rule in
+  let bindings =
+    Term.Set.elements (Rule.frontier rule)
+    |> List.map (fun x ->
+           Fmt.str "%a=%a" Term.pp x Term.pp (Subst.apply tr.Trigger.hom x))
+  in
+  String.concat "|" (Rule.name rule :: bindings)
+
+let satisfied tr inst =
+  let rule = tr.Trigger.rule in
+  let init = Subst.restrict (Rule.frontier rule) tr.Trigger.hom in
+  Hom.exists ~init (Rule.head rule) inst
+
+let run ?(variant = Oblivious) ?(max_depth = 8) ?(max_atoms = 20000) start
+    rules =
+  let fired = Hashtbl.create 256 in
+  let rec go current levels_rev level stamps prov =
+    if level >= max_depth then finish current levels_rev stamps prov ~saturated:false ~truncated:false
+    else begin
+      let triggers =
+        List.filter
+          (fun tr ->
+            let k =
+              match variant with
+              | Semi_oblivious -> frontier_key tr
+              | Oblivious | Restricted -> Trigger.key tr
+            in
+            if Hashtbl.mem fired k then false
+            else if variant = Restricted && satisfied tr current then begin
+              (* its head stays satisfied forever: never reconsider *)
+              Hashtbl.add fired k ();
+              false
+            end
+            else begin
+              Hashtbl.add fired k ();
+              true
+            end)
+          (Trigger.all rules current)
+      in
+      if triggers = [] then
+        finish current levels_rev stamps prov ~saturated:true ~truncated:false
+      else begin
+        let next, stamps, prov =
+          List.fold_left
+            (fun (inst, stamps, prov) tr ->
+              let out, ext = Trigger.output tr in
+              let prov =
+                Term.Set.fold
+                  (fun z acc ->
+                    let created = Subst.apply ext z in
+                    Term.Map.add created
+                      {
+                        rule = tr.Trigger.rule;
+                        hom = tr.Trigger.hom;
+                        extension = ext;
+                        level = level + 1;
+                      }
+                      acc)
+                  (Rule.exist_vars tr.Trigger.rule)
+                  prov
+              in
+              ( Instance.union inst out,
+                stamp_terms (level + 1) (Instance.adom out) stamps,
+                prov ))
+            (current, stamps, prov) triggers
+        in
+        if Instance.cardinal next > max_atoms then
+          finish next (next :: levels_rev) stamps prov ~saturated:false
+            ~truncated:true
+        else go next (next :: levels_rev) (level + 1) stamps prov
+      end
+    end
+  and finish instance levels_rev stamps prov ~saturated ~truncated =
+    let levels = List.rev levels_rev in
+    {
+      instance;
+      levels;
+      depth = List.length levels - 1;
+      saturated;
+      truncated;
+      timestamps = stamps;
+      provenance = prov;
+    }
+  in
+  let stamps = stamp_terms 0 (Instance.adom start) Term.Map.empty in
+  go start [ start ] 0 stamps Term.Map.empty
+
+let level c k =
+  let k = max 0 k in
+  let rec nth i = function
+    | [] -> c.instance
+    | [ last ] -> last
+    | x :: rest -> if i = k then x else nth (i + 1) rest
+  in
+  nth 0 c.levels
+
+let timestamp c t = Term.Map.find t c.timestamps
+
+let timestamp_multiset c terms =
+  Nca_graph.Multiset.Int_multiset.of_list
+    (List.map (timestamp c) (Term.Set.elements terms))
+
+let terms c = Instance.adom c.instance
+
+let invented c =
+  match c.levels with
+  | [] -> Term.Set.empty
+  | start :: _ -> Term.Set.diff (terms c) (Instance.adom start)
+
+let entails ?tuple c q = Cq.holds ?tuple c.instance q
+
+let holds_at c q =
+  let rec go k = function
+    | [] -> None
+    | l :: rest -> if Cq.holds l q then Some k else go (k + 1) rest
+  in
+  go 0 c.levels
+
+let e_graph e c = Nca_graph.Digraph.of_instance e c.instance
+
+let pp_stats ppf c =
+  Fmt.pf ppf "depth=%d atoms=%d terms=%d%s%s" c.depth
+    (Instance.cardinal c.instance)
+    (Term.Set.cardinal (terms c))
+    (if c.saturated then " saturated" else "")
+    (if c.truncated then " truncated" else "")

@@ -1,0 +1,75 @@
+open Nca_logic
+
+exception Not_datalog of Rule.t
+
+let check_datalog rules =
+  List.iter
+    (fun r -> if not (Rule.is_datalog r) then raise (Not_datalog r))
+    rules
+
+(* Unify one body atom against a concrete delta atom, seeding the
+   substitution for the search over the remaining atoms. *)
+let seed_with atom fact =
+  if not (Symbol.equal (Atom.pred atom) (Atom.pred fact)) then None
+  else
+    List.fold_left2
+      (fun acc s t ->
+        match acc with
+        | None -> None
+        | Some sub ->
+            if not (Term.is_mappable s) then
+              if Term.equal s t then acc else None
+            else begin
+              match Subst.find_opt s sub with
+              | Some u -> if Term.equal u t then acc else None
+              | None -> Some (Subst.add s t sub)
+            end)
+      (Some Subst.empty) (Atom.args atom) (Atom.args fact)
+
+let rec split_nth i acc = function
+  | [] -> invalid_arg "split_nth"
+  | x :: rest -> if i = 0 then (x, List.rev_append acc rest) else split_nth (i - 1) (x :: acc) rest
+
+let saturate_steps ?(max_rounds = 10000) ?(max_atoms = 1_000_000) start rules
+    =
+  check_datalog rules;
+  let rec go total delta round =
+    if Instance.is_empty delta then (total, round)
+    else if round > max_rounds then failwith "Datalog.saturate: rounds budget"
+    else if Instance.cardinal total > max_atoms then
+      failwith "Datalog.saturate: atoms budget"
+    else begin
+      let fresh = ref Instance.empty in
+      List.iter
+        (fun rule ->
+          let body = Rule.body rule in
+          List.iteri
+            (fun i _ ->
+              let pivot, rest = split_nth i [] body in
+              Instance.iter
+                (fun fact ->
+                  match seed_with pivot fact with
+                  | None -> ()
+                  | Some seed ->
+                      Hom.iter ~init:seed rest total (fun h ->
+                          List.iter
+                            (fun head_atom ->
+                              let derived = Subst.apply_atom h head_atom in
+                              if not (Instance.mem derived total) then
+                                fresh := Instance.add derived !fresh)
+                            (Rule.head rule)))
+                delta)
+            body)
+        rules;
+      let fresh = Instance.diff !fresh total in
+      go (Instance.union total fresh) fresh (round + 1)
+    end
+  in
+  go start start 0
+
+let saturate ?max_rounds ?max_atoms start rules =
+  fst (saturate_steps ?max_rounds ?max_atoms start rules)
+
+let rounds_to_fixpoint start rules =
+  (* the final round derives nothing new *)
+  max 0 (snd (saturate_steps start rules) - 1)

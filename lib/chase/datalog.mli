@@ -1,0 +1,23 @@
+(** Semi-naive bottom-up evaluation for Datalog rule sets.
+
+    The Section-5 decomposition (Lemma 33) computes [Ch(Ch(S^∃), S^DL)]:
+    a Datalog closure on top of an existential chase. The generic chase
+    recomputes every trigger at every level; for the Datalog part a
+    semi-naive evaluation — joining each rule against the {e delta} of
+    the previous round — produces the same closure substantially faster.
+    Used by the benchmarks as the optimized engine for Datalog closures;
+    equivalence with {!Chase.run} is part of the test suite. *)
+
+open Nca_logic
+
+exception Not_datalog of Rule.t
+
+val saturate : ?max_rounds:int -> ?max_atoms:int -> Instance.t -> Rule.t list -> Instance.t
+(** Least fixpoint of the Datalog rules over the instance. Raises
+    {!Not_datalog} on a rule with existential variables; budget overruns
+    raise [Failure] (Datalog closures are finite, so the default budgets
+    are generous: 10000 rounds, 1_000_000 atoms). *)
+
+val rounds_to_fixpoint : Instance.t -> Rule.t list -> int
+(** Number of semi-naive rounds until saturation (a recursion-depth
+    measure). *)

@@ -1,0 +1,84 @@
+open Nca_logic
+
+let unsatisfied_trigger rules inst =
+  List.find_map
+    (fun rule ->
+      let frontier = Rule.frontier rule in
+      List.find_map
+        (fun hom ->
+          let init = Subst.restrict frontier hom in
+          if Hom.exists ~init (Rule.head rule) inst then None
+          else Some { Trigger.rule; hom })
+        (Hom.all (Rule.body rule) inst))
+    rules
+
+let violations inst rules =
+  List.filter
+    (fun tr ->
+      let init =
+        Subst.restrict (Rule.frontier tr.Trigger.rule) tr.Trigger.hom
+      in
+      not (Hom.exists ~init (Rule.head tr.Trigger.rule) inst))
+    (Trigger.all rules inst)
+
+let is_model inst rules = Option.is_none (unsatisfied_trigger rules inst)
+
+type outcome =
+  | Model of Instance.t
+  | No_model
+  | Budget
+
+exception Out_of_budget
+
+(* All assignments of [vars] to [domain], as substitutions. *)
+let assignments vars domain =
+  List.fold_left
+    (fun partial x ->
+      List.concat_map
+        (fun s -> List.map (fun d -> Subst.add x d s) domain)
+        partial)
+    [ Subst.empty ] vars
+
+let search ?(fresh = 2) ?(max_steps = 200000) ?forbid start rules =
+  let domain =
+    Term.Set.elements (Instance.adom start)
+    @ List.init fresh (fun i -> Term.cst (Fmt.str "_m%d" i))
+  in
+  let steps = ref 0 in
+  let allowed inst =
+    match forbid with None -> true | Some q -> not (Cq.holds inst q)
+  in
+  let rec dfs inst =
+    incr steps;
+    if !steps > max_steps then raise Out_of_budget;
+    match unsatisfied_trigger rules inst with
+    | None -> Some inst
+    | Some tr ->
+        let rule = tr.Trigger.rule in
+        let exist = Term.Set.elements (Rule.exist_vars rule) in
+        let candidates = assignments exist domain in
+        List.find_map
+          (fun assignment ->
+            (* body variables through the trigger's homomorphism,
+               existential variables through the chosen assignment *)
+            let ext = Subst.compose tr.Trigger.hom assignment in
+            let inst' =
+              List.fold_left
+                (fun acc a -> Instance.add (Subst.apply_atom ext a) acc)
+                inst (Rule.head rule)
+            in
+            if allowed inst' then dfs inst' else None)
+          candidates
+  in
+  if not (allowed start) then No_model
+  else
+    match dfs start with
+    | Some m -> Model m
+    | None -> No_model
+    | exception Out_of_budget -> Budget
+
+let loop_free_model_exists ?fresh ?max_steps ~e start rules =
+  match search ?fresh ?max_steps ~forbid:(Cq.loop_query e) start rules with
+  | Model _ -> Some true
+  | No_model -> Some false
+  | Budget -> None

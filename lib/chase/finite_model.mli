@@ -1,0 +1,47 @@
+(** Bounded finite-model search — the finite side of (bdd ⇒ fc).
+
+    Finite controllability compares entailment over all models with
+    entailment over {e finite} models (Section 1). This module makes the
+    finite side executable at small scale: given an instance [I], a rule
+    set [R] and a budget of extra domain elements, it searches for a
+    finite model of [I ∧ R] by depth-first completion — every unsatisfied
+    trigger is repaired by mapping the head's existential variables to
+    {e existing} domain elements, in all possible ways.
+
+    With [forbid] set to a (monotone) Boolean query, the search only
+    returns models that do not satisfy it. Example 1's gap becomes a
+    computation: [search ~forbid:Loop_E] fails on the transitive successor
+    rules for every domain budget — every finite model has a loop — while
+    the chase (an infinite model) has none. *)
+
+open Nca_logic
+
+val is_model : Instance.t -> Rule.t list -> bool
+(** No unsatisfied trigger: every body homomorphism extends to a head
+    homomorphism. *)
+
+val violations : Instance.t -> Rule.t list -> Trigger.t list
+(** The unsatisfied triggers. *)
+
+type outcome =
+  | Model of Instance.t
+  | No_model  (** search space exhausted: no such model within the budget *)
+  | Budget  (** step budget exhausted before a verdict *)
+
+val search :
+  ?fresh:int ->
+  ?max_steps:int ->
+  ?forbid:Cq.t ->
+  Instance.t ->
+  Rule.t list ->
+  outcome
+(** [search ~fresh ~forbid i rules] looks for a finite model of [i] and
+    [rules] over [adom i] plus [fresh] extra elements (default 2) that
+    does not satisfy [forbid]. [max_steps] (default 200000) bounds the
+    number of search nodes. *)
+
+val loop_free_model_exists :
+  ?fresh:int -> ?max_steps:int -> e:Symbol.t -> Instance.t -> Rule.t list ->
+  bool option
+(** [Some true]/[Some false] when the bounded search is conclusive,
+    [None] on budget exhaustion. *)

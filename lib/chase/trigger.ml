@@ -1,0 +1,30 @@
+open Nca_logic
+
+type t = { rule : Rule.t; hom : Subst.t }
+
+let all rules i =
+  List.concat_map
+    (fun rule ->
+      List.map (fun hom -> { rule; hom }) (Hom.all (Rule.body rule) i))
+    rules
+
+let output tr =
+  let ext =
+    Term.Set.fold
+      (fun z acc -> Subst.add z (Term.fresh_null ()) acc)
+      (Rule.exist_vars tr.rule) tr.hom
+  in
+  (Instance.of_list (Subst.apply_atoms ext (Rule.head tr.rule)), ext)
+
+let key tr =
+  let bindings =
+    Term.Set.elements (Rule.body_vars tr.rule)
+    |> List.map (fun x -> Fmt.str "%a=%a" Term.pp x Term.pp (Subst.apply tr.hom x))
+  in
+  String.concat "|" (Rule.name tr.rule :: bindings)
+
+let frontier_image tr =
+  Term.Set.map (Subst.apply tr.hom) (Rule.frontier tr.rule)
+
+let pp ppf tr =
+  Fmt.pf ppf "⟨%s, %a⟩" (Rule.name tr.rule) Subst.pp tr.hom

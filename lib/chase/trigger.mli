@@ -1,0 +1,29 @@
+(** Triggers: a rule together with a homomorphism from its body.
+
+    An [R]-trigger over an instance [I] is a pair [⟨ρ, h⟩] of a rule
+    [ρ ∈ R] and a homomorphism [h] from [body(ρ)] to [I] (Section 2.2). *)
+
+open Nca_logic
+
+type t = { rule : Rule.t; hom : Subst.t }
+
+val all : Rule.t list -> Instance.t -> t list
+(** [triggers(I, R)]: every trigger of every rule over the instance. Each
+    reported homomorphism binds exactly the body variables. *)
+
+val output : t -> Instance.t * Subst.t
+(** The output of the trigger: [h'(head ρ)] where [h'] extends [h] by
+    mapping each existential variable to a globally fresh null. Also
+    returns [h'] (the extension), whose restriction to the existential
+    variables identifies the created nulls. *)
+
+val key : t -> string
+(** A canonical identity for the trigger (rule name + the ordered
+    bindings of all body variables), used to fire each trigger exactly
+    once across chase levels, as the oblivious chase requires. *)
+
+val frontier_image : t -> Term.Set.t
+(** The image of the rule's frontier under the trigger's homomorphism —
+    the frontier of the chase terms the trigger creates (Section 2.2). *)
+
+val pp : t Fmt.t

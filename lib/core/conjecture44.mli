@@ -1,0 +1,33 @@
+(** The Conjecture 44 explorer (Section 6, "Arbitrary Colorability").
+
+    Conjecture 44: for every UCQ-rewritable rule set and instance, if
+    [Ch(I,R)|_E] cannot be colored with finitely many colors, then
+    [Ch(I,R) ⊨ Loop_E]. The finite shadow measured here: the chromatic
+    number of the E-graph of chase prefixes, level by level, against loop
+    entailment. A bdd rule set whose per-level chromatic numbers keep
+    growing while the loop stays absent would be evidence against the
+    conjecture (none of the zoo behaves that way); Erdős' theorem
+    (Thm. 45) is the reason the measurement is interesting beyond
+    Theorem 1 — chromatic number can grow without any 4-tournament. *)
+
+open Nca_logic
+
+type point = {
+  level : int;
+  atoms : int;
+  tournament : int;  (** the Theorem-1 measure, for comparison *)
+  chromatic : int option;  (** [None] once a loop exists *)
+  loop : bool;
+}
+
+val series :
+  ?max_depth:int -> ?max_atoms:int -> e:Symbol.t -> Instance.t ->
+  Rule.t list -> point list
+(** Per-level chromatic profile of the chase. *)
+
+val verdict : point list -> [ `Consistent | `Suspicious of point ]
+(** [`Suspicious p] flags a level whose chromatic number exceeds the
+    final tournament size with no loop — the shape a counterexample to
+    Conjecture 44 (but not to Theorem 1) would have to take. A
+    [`Suspicious] outcome on a bounded prefix is only a hint, never a
+    refutation. *)

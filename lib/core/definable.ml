@@ -1,0 +1,42 @@
+open Nca_logic
+
+let definition_rules ~e ucq =
+  if Symbol.arity e <> 2 then
+    invalid_arg "Definable.definition_rules: E must be binary";
+  if Ucq.arity ucq <> 2 then
+    invalid_arg "Definable.definition_rules: the UCQ must be binary";
+  List.mapi
+    (fun i q ->
+      match Cq.answer q with
+      | [ x; y ] ->
+          if
+            List.exists
+              (fun a -> Symbol.equal (Atom.pred a) e)
+              (Cq.body q)
+          then
+            invalid_arg
+              "Definable.definition_rules: E occurs in the defining UCQ";
+          Rule.make
+            ~name:(Fmt.str "def_%a_%d" Symbol.pp_name e i)
+            (Cq.body q)
+            [ Atom.make e [ x; y ] ]
+      | _ -> invalid_arg "Definable.definition_rules: non-binary disjunct")
+    (Ucq.disjuncts ucq)
+
+let extend ~e ucq rules =
+  if Symbol.Set.mem e (Rule.signature rules) then
+    invalid_arg "Definable.extend: E is not fresh for the rule set";
+  rules @ definition_rules ~e ucq
+
+let preserves_bdd ?(max_rounds = 8) ~e ucq rules =
+  let base =
+    Nca_rewriting.Bdd.certified
+      (Nca_rewriting.Bdd.for_signature ~max_rounds rules
+         (Rule.signature rules))
+  in
+  (not base)
+  ||
+  let extended = extend ~e ucq rules in
+  Nca_rewriting.Bdd.certified
+    (Nca_rewriting.Bdd.for_signature ~max_rounds extended
+       (Rule.signature extended))

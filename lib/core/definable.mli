@@ -1,0 +1,26 @@
+(** Tournaments over UCQ-definable relations (Section 6, "Tournament
+    Definition").
+
+    Theorem 1 is stated for a fixed binary predicate [E], but extends to
+    any relation definable by a binary UCQ [Q(x,y) = ⋁ qᵢ(x,y)]: add one
+    Datalog rule [qᵢ(x,y) → E(x,y)] per disjunct, for a fresh [E]. The
+    paper notes this does not affect UCQ-rewritability when [E] is fresh.
+    This module performs that extension and provides the freshness and
+    preservation checks the remark relies on. *)
+
+open Nca_logic
+
+val definition_rules : e:Symbol.t -> Ucq.t -> Rule.t list
+(** One rule [qᵢ(x, y) → E(x, y)] per disjunct. Raises [Invalid_argument]
+    unless the UCQ is binary and [e] is a fresh binary predicate for it. *)
+
+val extend : e:Symbol.t -> Ucq.t -> Rule.t list -> Rule.t list
+(** [extend ~e q rules]: the rule set with the defining rules added.
+    Raises [Invalid_argument] when [e] already occurs in [rules] — the
+    freshness hypothesis of the remark. *)
+
+val preserves_bdd :
+  ?max_rounds:int -> e:Symbol.t -> Ucq.t -> Rule.t list -> bool
+(** Empirical check of the Section-6 remark: the atomic queries of the
+    extended signature still certify within budget whenever the base set
+    does. *)

@@ -1,0 +1,53 @@
+type t = { header : string list; rows : string list list }
+
+(* Visual width: count UTF-8 code points rather than bytes so box lines
+   stay aligned in the presence of the symbols we print (∃, ⊤, …). *)
+let width s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+let make ~header rows =
+  let cols = List.length header in
+  let pad r =
+    let len = List.length r in
+    if len >= cols then r else r @ List.init (cols - len) (fun _ -> "")
+  in
+  { header; rows = List.map pad rows }
+
+let pp ppf t =
+  let cols = List.length t.header in
+  let widths = Array.make cols 0 in
+  let feed row =
+    List.iteri
+      (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (width cell))
+      row
+  in
+  feed t.header;
+  List.iter feed t.rows;
+  let pad cell w =
+    cell ^ String.make (max 0 (w - width cell)) ' '
+  in
+  let pp_row ppf row =
+    Fmt.pf ppf "| %s |"
+      (String.concat " | " (List.mapi (fun i c -> pad c widths.(i)) row))
+  in
+  let rule =
+    "|-"
+    ^ String.concat "-|-"
+        (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+    ^ "-|"
+  in
+  Fmt.pf ppf "%a@.%s@.%a" pp_row t.header rule
+    Fmt.(list ~sep:(any "@.") pp_row)
+    t.rows;
+  Fmt.pf ppf "@."
+
+let print ?title ~header rows =
+  (match title with
+  | Some title ->
+      Fmt.pr "@.%s@.%s@." title (String.make (width title) '=')
+  | None -> ());
+  Fmt.pr "%a" pp (make ~header rows)
+
+let row projections x = List.map (fun f -> f x) projections

@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type t
+
+val make : header:string list -> string list list -> t
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val pp : t Fmt.t
+(** Aligned columns with a separator line below the header. *)
+
+val print : ?title:string -> header:string list -> string list list -> unit
+(** Render to stdout, with an optional underlined title. *)
+
+val row : ('a -> string) list -> 'a -> string list
+(** [row projections x] applies each projection to [x]. *)

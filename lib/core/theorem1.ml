@@ -1,0 +1,64 @@
+open Nca_logic
+
+type verdict = {
+  depth : int;
+  saturated : bool;
+  truncated : bool;
+  atoms : int;
+  max_tournament : int;
+  tournament : Term.t list;
+  loop : bool;
+  loop_level : int option;
+}
+
+let validate ?(max_depth = 6) ?(max_atoms = 20000) ~e i rules =
+  let chase = Nca_chase.Chase.run ~max_depth ~max_atoms i rules in
+  let graph = Nca_chase.Chase.e_graph e chase in
+  let tournament = Nca_graph.Tournament.max_tournament graph in
+  let loop_level = Nca_chase.Chase.holds_at chase (Cq.loop_query e) in
+  {
+    depth = chase.Nca_chase.Chase.depth;
+    saturated = chase.Nca_chase.Chase.saturated;
+    truncated = chase.Nca_chase.Chase.truncated;
+    atoms = Instance.cardinal chase.Nca_chase.Chase.instance;
+    max_tournament = List.length tournament;
+    tournament;
+    loop = Option.is_some loop_level;
+    loop_level;
+  }
+
+let implication_holds ~threshold v =
+  v.max_tournament < threshold || v.loop
+
+let tournament_size_bound ~rewriting_disjuncts =
+  Nca_graph.Ramsey.four_clique_bound ~colors:(max 1 rewriting_disjuncts)
+
+type point = {
+  level : int;
+  level_atoms : int;
+  level_tournament : int;
+  level_loop : bool;
+}
+
+let series ?(max_depth = 6) ?(max_atoms = 20000) ~e i rules =
+  let chase = Nca_chase.Chase.run ~max_depth ~max_atoms i rules in
+  let loop = Cq.loop_query e in
+  List.mapi
+    (fun level inst ->
+      let g = Nca_graph.Digraph.of_instance e inst in
+      {
+        level;
+        level_atoms = Instance.cardinal inst;
+        level_tournament = Nca_graph.Tournament.max_tournament_size g;
+        level_loop = Cq.holds inst loop;
+      })
+    chase.Nca_chase.Chase.levels
+
+let pp_verdict ppf v =
+  Fmt.pf ppf
+    "depth=%d atoms=%d max-tournament=%d loop=%b%a%s%s" v.depth v.atoms
+    v.max_tournament v.loop
+    Fmt.(option (fmt "@%d"))
+    v.loop_level
+    (if v.saturated then " saturated" else "")
+    (if v.truncated then " truncated" else "")

@@ -1,0 +1,87 @@
+open Nca_logic
+module G = Nca_graph.Digraph.Term_graph
+
+let order_graph q = Nca_graph.Digraph.of_atoms (Cq.body q)
+let is_dag q = G.is_dag (order_graph q)
+
+let maximal_vars q =
+  let g = order_graph q in
+  List.fold_left
+    (fun acc v -> if Term.is_mappable v then Term.Set.add v acc else acc)
+    Term.Set.empty (G.maximal_vertices g)
+
+let is_valley q =
+  match Cq.answer q with
+  | [ x; y ] ->
+      is_dag q
+      && Term.Set.subset (maximal_vars q)
+           (Term.Set.add x (Term.Set.singleton y))
+  | _ -> false
+
+type shape =
+  | Disconnected
+  | Single_max of [ `X | `Y ]
+  | Two_max
+
+let shape q =
+  if not (is_valley q) then invalid_arg "Valley.shape: not a valley query";
+  let x, y =
+    match Cq.answer q with
+    | [ x; y ] -> (x, y)
+    | _ -> assert false
+  in
+  let g = order_graph q in
+  let components = G.weakly_connected_components g in
+  let connected_xy =
+    List.exists (fun c -> G.VSet.mem x c && G.VSet.mem y c) components
+  in
+  if not connected_xy then Disconnected
+  else
+    let maxima = maximal_vars q in
+    match (Term.Set.mem x maxima, Term.Set.mem y maxima) with
+    | true, false -> Single_max `X
+    | false, true -> Single_max `Y
+    | true, true ->
+        if Term.equal x y then Single_max `X
+        else if G.reaches y x g then Single_max `X
+        else if G.reaches x y g then Single_max `Y
+        else Two_max
+    | false, false ->
+        (* both below some variable — impossible in a valley query *)
+        assert false
+
+let pp_shape ppf = function
+  | Disconnected -> Fmt.string ppf "disconnected"
+  | Single_max `X -> Fmt.string ppf "single-max(x)"
+  | Single_max `Y -> Fmt.string ppf "single-max(y)"
+  | Two_max -> Fmt.string ppf "two-max"
+
+let functional_on i q =
+  let pairs = Cq.answers i q in
+  let tbl = Hashtbl.create 16 in
+  List.for_all
+    (fun tuple ->
+      match tuple with
+      | [ s; t ] -> (
+          match Hashtbl.find_opt tbl s with
+          | Some t' -> Term.equal t t'
+          | None ->
+              Hashtbl.add tbl s t;
+              true)
+      | _ -> false)
+    pairs
+
+let defines_tournament i q k =
+  let rec pairs = function
+    | [] -> true
+    | v :: rest ->
+        List.for_all
+          (fun w ->
+            Cq.holds ~tuple:[ v; w ] i q || Cq.holds ~tuple:[ w; v ] i q)
+          rest
+        && pairs rest
+  in
+  pairs k
+
+let loop_witness_in_tournament i q k =
+  List.find_opt (fun u -> Cq.holds ~tuple:[ u; u ] i q) k

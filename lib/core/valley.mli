@@ -1,0 +1,52 @@
+(** Valley queries (Definition 39) and the Proposition 43 case analysis.
+
+    A binary CQ [q(x, y)] over a binary signature is a {e valley query}
+    when its body is a DAG and its only [<_q]-maximal variables are among
+    [{x, y}]. Proposition 43: a single valley query cannot define an
+    E-tournament of size 4 over [Ch(R^∃_⊠)] without also defining an
+    E-loop. *)
+
+open Nca_logic
+
+val order_graph : Cq.t -> Nca_graph.Digraph.Term_graph.t
+(** The query's body as a directed graph ([<_q] is its reachability,
+    Definition 38). Unary atoms contribute isolated vertices. *)
+
+val is_dag : Cq.t -> bool
+val maximal_vars : Cq.t -> Term.Set.t
+(** The [≤_q]-maximal variables. *)
+
+val is_valley : Cq.t -> bool
+(** Definition 39, with maximality allowed to degenerate to one of the two
+    answer variables (the case [y <_q x] of Proposition 43). Requires the
+    answer tuple to have length 2. *)
+
+type shape =
+  | Disconnected
+      (** [q = q₁(x) ∧ q₂(y) ∧ q₃] with variable-disjoint parts *)
+  | Single_max of [ `X | `Y ]
+      (** one answer variable reaches the other: the defined relation is a
+          function (Lemma 42) and out-degrees are at most 1 *)
+  | Two_max
+      (** both [x] and [y] maximal in a weakly-connected body *)
+
+val shape : Cq.t -> shape
+(** The Proposition 43 case of a valley query. Raises [Invalid_argument]
+    on a non-valley query. *)
+
+val pp_shape : shape Fmt.t
+
+val functional_on : Instance.t -> Cq.t -> bool
+(** Lemma 42 checked empirically: over the given (DAG) instance, the
+    relation [{(s, t) | I ⊨ q(s, t)}] is a partial function from its
+    first component, for a query whose [y]-side reaches [x]. *)
+
+val loop_witness_in_tournament :
+  Instance.t -> Cq.t -> Term.t list -> Term.t option
+(** Given a valley query [q] and vertices [K] forming a q-defined
+    tournament over the instance (every distinct pair satisfies [q] in one
+    direction or the other), search for [u ∈ K] with [I ⊨ q(u, u)] — the
+    loop that Proposition 43 guarantees when [|K| ≥ 4]. *)
+
+val defines_tournament : Instance.t -> Cq.t -> Term.t list -> bool
+(** Every pair of distinct vertices satisfies [q] in some direction. *)

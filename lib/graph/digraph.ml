@@ -1,0 +1,173 @@
+module type VERTEX = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module Make (V : VERTEX) = struct
+  module VSet = Set.Make (V)
+  module VMap = Map.Make (V)
+
+  type t = { succ : VSet.t VMap.t; pred : VSet.t VMap.t }
+
+  let empty = { succ = VMap.empty; pred = VMap.empty }
+
+  let add_vertex v g =
+    {
+      succ = (if VMap.mem v g.succ then g.succ else VMap.add v VSet.empty g.succ);
+      pred = (if VMap.mem v g.pred then g.pred else VMap.add v VSet.empty g.pred);
+    }
+
+  let add_to v w m =
+    VMap.update v
+      (function None -> Some (VSet.singleton w) | Some s -> Some (VSet.add w s))
+      m
+
+  let add_edge v w g =
+    let g = add_vertex w (add_vertex v g) in
+    { succ = add_to v w g.succ; pred = add_to w v g.pred }
+
+  let of_edges l = List.fold_left (fun g (v, w) -> add_edge v w g) empty l
+  let vertices g = List.map fst (VMap.bindings g.succ)
+
+  let edges g =
+    VMap.fold
+      (fun v ws acc -> VSet.fold (fun w acc -> (v, w) :: acc) ws acc)
+      g.succ []
+    |> List.rev
+
+  let num_vertices g = VMap.cardinal g.succ
+  let num_edges g = VMap.fold (fun _ ws n -> n + VSet.cardinal ws) g.succ 0
+  let mem_vertex v g = VMap.mem v g.succ
+
+  let succs v g =
+    match VMap.find_opt v g.succ with None -> VSet.empty | Some s -> s
+
+  let preds v g =
+    match VMap.find_opt v g.pred with None -> VSet.empty | Some s -> s
+
+  let has_edge v w g = VSet.mem w (succs v g)
+  let out_degree v g = VSet.cardinal (succs v g)
+  let in_degree v g = VSet.cardinal (preds v g)
+
+  let loops g =
+    VMap.fold (fun v ws acc -> if VSet.mem v ws then v :: acc else acc) g.succ []
+    |> List.rev
+
+  let has_loop g = loops g <> []
+
+  (* Iterative three-color DFS detecting back edges. *)
+  let is_dag g =
+    let color = Hashtbl.create 64 in
+    let state v = try Hashtbl.find color v with Not_found -> `White in
+    let exception Cycle in
+    let rec visit v =
+      match state v with
+      | `Gray -> raise Cycle
+      | `Black -> ()
+      | `White ->
+          Hashtbl.replace color v `Gray;
+          VSet.iter visit (succs v g);
+          Hashtbl.replace color v `Black
+    in
+    try
+      VMap.iter (fun v _ -> visit v) g.succ;
+      true
+    with Cycle -> false
+
+  let topo_sort g =
+    if not (is_dag g) then None
+    else begin
+      let visited = Hashtbl.create 64 in
+      let order = ref [] in
+      let rec visit v =
+        if not (Hashtbl.mem visited v) then begin
+          Hashtbl.add visited v ();
+          VSet.iter visit (succs v g);
+          order := v :: !order
+        end
+      in
+      VMap.iter (fun v _ -> visit v) g.succ;
+      Some !order
+    end
+
+  let reachable v g =
+    let seen = ref VSet.empty in
+    let rec visit w =
+      if not (VSet.mem w !seen) then begin
+        seen := VSet.add w !seen;
+        VSet.iter visit (succs w g)
+      end
+    in
+    VSet.iter visit (succs v g);
+    !seen
+
+  let reaches s t g = VSet.mem t (reachable s g)
+
+  let maximal_vertices g =
+    List.filter
+      (fun v -> VSet.is_empty (VSet.remove v (succs v g)))
+      (vertices g)
+
+  let restrict keep g =
+    let filter m =
+      VMap.filter_map
+        (fun v ws ->
+          if VSet.mem v keep then Some (VSet.inter ws keep) else None)
+        m
+    in
+    { succ = filter g.succ; pred = filter g.pred }
+
+  let undirected_neighbors v g =
+    VSet.remove v (VSet.union (succs v g) (preds v g))
+
+  let weakly_connected_components g =
+    let seen = ref VSet.empty in
+    let rec grow v comp =
+      if VSet.mem v !seen then comp
+      else begin
+        seen := VSet.add v !seen;
+        VSet.fold grow
+          (VSet.union (succs v g) (preds v g))
+          (VSet.add v comp)
+      end
+    in
+    List.filter_map
+      (fun v -> if VSet.mem v !seen then None else Some (grow v VSet.empty))
+      (vertices g)
+
+  let pp ppf g =
+    let pp_edge ppf (v, w) = Fmt.pf ppf "%a→%a" V.pp v V.pp w in
+    Fmt.pf ppf "⟨{%a}, {%a}⟩"
+      Fmt.(list ~sep:comma V.pp)
+      (vertices g)
+      Fmt.(list ~sep:comma pp_edge)
+      (edges g)
+end
+
+module Term_graph = Make (struct
+  type t = Nca_logic.Term.t
+
+  let compare = Nca_logic.Term.compare
+  let pp = Nca_logic.Term.pp
+end)
+
+let of_instance e i =
+  let open Nca_logic in
+  let g =
+    Term.Set.fold Term_graph.add_vertex (Instance.adom i) Term_graph.empty
+  in
+  List.fold_left
+    (fun g (s, t) -> Term_graph.add_edge s t g)
+    g (Instance.edges e i)
+
+let of_atoms atoms =
+  let open Nca_logic in
+  List.fold_left
+    (fun g a ->
+      match Atom.as_edge a with
+      | Some (s, t) -> Term_graph.add_edge s t g
+      | None ->
+          Term.Set.fold Term_graph.add_vertex (Atom.terms a) g)
+    Term_graph.empty atoms

@@ -1,0 +1,60 @@
+open Nca_logic
+module G = Digraph.Term_graph
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_id t = escape (Fmt.str "%a" Term.pp t)
+
+let of_graph ?(name = "G") ?(highlight = Term.Set.empty) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "digraph \"%s\" {\n" (escape name));
+  List.iter
+    (fun v ->
+      let attrs =
+        if Term.Set.mem v highlight then
+          " [style=filled, fillcolor=lightblue]"
+        else ""
+      in
+      Buffer.add_string buf (Fmt.str "  \"%s\"%s;\n" (node_id v) attrs))
+    (G.vertices g);
+  List.iter
+    (fun (v, w) ->
+      Buffer.add_string buf
+        (Fmt.str "  \"%s\" -> \"%s\";\n" (node_id v) (node_id w)))
+    (G.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_instance ?name ?highlight ~e i =
+  of_graph ?name ?highlight (Digraph.of_instance e i)
+
+let of_cq ?(name = "query") q =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "digraph \"%s\" {\n" (escape name));
+  let answers = Cq.answer_vars q in
+  Term.Set.iter
+    (fun v ->
+      let shape = if Term.Set.mem v answers then "box" else "ellipse" in
+      Buffer.add_string buf
+        (Fmt.str "  \"%s\" [shape=%s];\n" (node_id v) shape))
+    (Cq.vars q);
+  List.iter
+    (fun a ->
+      match Atom.as_edge a with
+      | Some (s, t) ->
+          Buffer.add_string buf
+            (Fmt.str "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (node_id s)
+               (node_id t)
+               (escape (Symbol.name (Atom.pred a))))
+      | None -> ())
+    (Cq.body q);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

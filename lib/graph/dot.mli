@@ -1,0 +1,21 @@
+(** Graphviz DOT export for chase graphs and query shapes. *)
+
+val of_graph :
+  ?name:string ->
+  ?highlight:Nca_logic.Term.Set.t ->
+  Digraph.Term_graph.t ->
+  string
+(** A [digraph] document; highlighted vertices (e.g. a tournament) are
+    filled. *)
+
+val of_instance :
+  ?name:string ->
+  ?highlight:Nca_logic.Term.Set.t ->
+  e:Nca_logic.Symbol.t ->
+  Nca_logic.Instance.t ->
+  string
+(** The E-graph of an instance, loops included. *)
+
+val of_cq : ?name:string -> Nca_logic.Cq.t -> string
+(** A query body as a graph; answer variables are drawn as boxes (the two
+    "ends" of a valley query). *)

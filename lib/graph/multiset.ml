@@ -1,0 +1,77 @@
+module type ELT = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module Make (X : ELT) = struct
+  module M = Map.Make (X)
+
+  type t = int M.t
+  (* Invariant: all stored multiplicities are > 0. *)
+
+  let empty = M.empty
+  let is_empty = M.is_empty
+
+  let add x m =
+    M.update x (function None -> Some 1 | Some n -> Some (n + 1)) m
+
+  let remove x m =
+    M.update x
+      (function
+        | None -> None | Some 1 -> None | Some n -> Some (n - 1))
+      m
+
+  let of_list l = List.fold_left (fun m x -> add x m) empty l
+
+  let to_list m =
+    M.fold (fun x n acc -> List.init n (fun _ -> x) @ acc) m [] |> List.rev
+
+  let count x m = match M.find_opt x m with None -> 0 | Some n -> n
+  let size m = M.fold (fun _ n acc -> acc + n) m 0
+  let union a b = M.union (fun _ n1 n2 -> Some (n1 + n2)) a b
+
+  let inter a b =
+    M.merge
+      (fun _ n1 n2 ->
+        match (n1, n2) with
+        | Some n1, Some n2 -> Some (min n1 n2)
+        | _ -> None)
+      a b
+
+  let diff a b =
+    M.merge
+      (fun _ n1 n2 ->
+        match (n1, n2) with
+        | Some n1, Some n2 -> if n1 > n2 then Some (n1 - n2) else None
+        | Some n1, None -> Some n1
+        | None, _ -> None)
+      a b
+
+  let max_opt m = Option.map fst (M.max_binding_opt m)
+
+  let rec compare_lex a b =
+    match (M.max_binding_opt a, M.max_binding_opt b) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some (xa, _), Some (xb, _) ->
+        let c = X.compare xa xb in
+        if c <> 0 then c else compare_lex (remove xa a) (remove xb b)
+
+  let equal a b = M.equal Int.equal a b
+
+  let pp ppf m =
+    let pp_entry ppf (x, n) =
+      if n = 1 then X.pp ppf x else Fmt.pf ppf "%a×%d" X.pp x n
+    in
+    Fmt.pf ppf "{%a}ₘ" Fmt.(list ~sep:comma pp_entry) (M.bindings m)
+end
+
+module Int_multiset = Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Fmt.int
+end)

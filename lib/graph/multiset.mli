@@ -1,0 +1,59 @@
+(** Finite multisets with the lexicographic order of Section 2.4.
+
+    A multiset over [D] is a function [D → ℕ] with finite support. The
+    strict lexicographic order [<_lex] compares maxima first, then recurses
+    on the multisets with one occurrence of the maximum removed. Lemma 8:
+    on multisets of bounded size over a well-founded order, [<_lex] is
+    well-founded — this is what makes the peak-removing argument
+    (Lemma 40) terminate, and our implementation of that argument asserts
+    the strict decrease at every step. *)
+
+module type ELT = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module Make (X : ELT) : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val of_list : X.t list -> t
+  val to_list : t -> X.t list
+  (** Sorted, with multiplicities expanded. *)
+
+  val add : X.t -> t -> t
+  val remove : X.t -> t -> t
+  (** Removes one occurrence (no-op when absent). *)
+
+  val count : X.t -> t -> int
+  val size : t -> int
+
+  val union : t -> t -> t
+  (** [∪ₘ]: multiplicities add up. *)
+
+  val inter : t -> t -> t
+  (** [∩ₘ]: pointwise minimum. *)
+
+  val diff : t -> t -> t
+  (** [∖ₘ]: truncated pointwise difference. *)
+
+  val max_opt : t -> X.t option
+  (** [maxₘ], undefined ([None]) on the empty multiset. *)
+
+  val compare_lex : t -> t -> int
+  (** The (non-strict) lexicographic order [≤_lex]; [compare_lex a b < 0]
+      iff [a <_lex b]. *)
+
+  val equal : t -> t -> bool
+  val pp : t Fmt.t
+end
+
+module Int_multiset : module type of Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Fmt.int
+end)

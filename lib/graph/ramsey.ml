@@ -1,0 +1,70 @@
+(* Known exact small Ramsey numbers, keyed by the sorted argument list with
+   the trivial entries (1 and 2) already removed. *)
+let exact_table =
+  [
+    ([ 3; 3 ], 6);
+    ([ 3; 4 ], 9);
+    ([ 3; 5 ], 14);
+    ([ 3; 6 ], 18);
+    ([ 3; 7 ], 23);
+    ([ 3; 8 ], 28);
+    ([ 3; 9 ], 36);
+    ([ 4; 4 ], 18);
+    ([ 4; 5 ], 25);
+    ([ 3; 3; 3 ], 17);
+  ]
+
+let normalize args =
+  List.iter
+    (fun s -> if s < 1 then invalid_arg "Ramsey: arguments must be >= 1")
+    args;
+  if args = [] then invalid_arg "Ramsey: empty argument list";
+  (* 1 forces the answer 1; 2 is neutral: a 2-tournament only needs one
+     edge, so that color can be dropped. *)
+  if List.mem 1 args then `One
+  else
+    match List.sort Int.compare (List.filter (fun s -> s > 2) args) with
+    | [] -> `Value 2
+    | [ s ] -> `Value s
+    | key -> `Key key
+
+let memo : (int list, int) Hashtbl.t = Hashtbl.create 64
+
+let rec bound_of_key key =
+  match Hashtbl.find_opt memo key with
+  | Some v -> v
+  | None ->
+      let v =
+        match List.assoc_opt key exact_table with
+        | Some v -> v
+        | None ->
+            (* Greenwood–Gleason recursion. *)
+            let n = List.length key in
+            let parts =
+              List.init n (fun i ->
+                  let decremented =
+                    List.mapi (fun j s -> if i = j then s - 1 else s) key
+                  in
+                  compute decremented)
+            in
+            2 - n + List.fold_left ( + ) 0 parts
+      in
+      Hashtbl.add memo key v;
+      v
+
+and compute args =
+  match normalize args with
+  | `One -> 1
+  | `Value v -> v
+  | `Key key -> bound_of_key key
+
+let upper_bound args = compute args
+
+let four_clique_bound ~colors =
+  if colors < 1 then invalid_arg "Ramsey.four_clique_bound: colors < 1";
+  upper_bound (List.init colors (fun _ -> 4))
+
+let is_exact args =
+  match normalize args with
+  | `One | `Value _ -> true
+  | `Key key -> List.mem_assoc key exact_table

@@ -1,0 +1,103 @@
+module G = Digraph.Term_graph
+module VSet = G.VSet
+
+(* Neighbourhood in the orientation closure. *)
+let closure_neighbors g v = G.undirected_neighbors v g
+
+let is_tournament vs g =
+  let rec ok = function
+    | [] -> true
+    | v :: rest ->
+        List.for_all
+          (fun w -> G.has_edge v w g || G.has_edge w v g)
+          rest
+        && ok rest
+  in
+  ok vs
+
+(* Bron–Kerbosch with pivoting on the orientation closure. [target] bounds
+   the search: once a clique of size [target] is found we stop (use
+   [max_int] for the exact maximum). *)
+let bron_kerbosch ?(target = max_int) g =
+  let best = ref VSet.empty in
+  let exception Done in
+  let nbrs =
+    let tbl = Hashtbl.create 64 in
+    fun v ->
+      match Hashtbl.find_opt tbl v with
+      | Some s -> s
+      | None ->
+          let s = closure_neighbors g v in
+          Hashtbl.add tbl v s;
+          s
+  in
+  let rec expand r p x =
+    if VSet.cardinal r > VSet.cardinal !best then begin
+      best := r;
+      if VSet.cardinal r >= target then raise Done
+    end;
+    if VSet.is_empty p && VSet.is_empty x then ()
+    else if VSet.cardinal r + VSet.cardinal p <= VSet.cardinal !best then ()
+    else begin
+      (* pivot: vertex of p ∪ x with most neighbours in p *)
+      let pivot =
+        VSet.fold
+          (fun v acc ->
+            let d = VSet.cardinal (VSet.inter (nbrs v) p) in
+            match acc with
+            | Some (_, d') when d' >= d -> acc
+            | _ -> Some (v, d))
+          (VSet.union p x) None
+      in
+      let candidates =
+        match pivot with
+        | None -> p
+        | Some (u, _) -> VSet.diff p (nbrs u)
+      in
+      let p = ref p and x = ref x in
+      VSet.iter
+        (fun v ->
+          let nv = nbrs v in
+          expand (VSet.add v r) (VSet.inter !p nv) (VSet.inter !x nv);
+          p := VSet.remove v !p;
+          x := VSet.add v !x)
+        candidates
+    end
+  in
+  (try expand VSet.empty (VSet.of_list (G.vertices g)) VSet.empty
+   with Done -> ());
+  !best
+
+let max_tournament g = VSet.elements (bron_kerbosch g)
+let max_tournament_size g = VSet.cardinal (bron_kerbosch g)
+
+let find_tournament_of_size k g =
+  if k <= 0 then Some []
+  else
+    let c = bron_kerbosch ~target:k g in
+    if VSet.cardinal c >= k then Some (VSet.elements c) else None
+
+let has_tournament_of_size k g = Option.is_some (find_tournament_of_size k g)
+
+let greedy_lower_bound g =
+  (* Repeatedly add the closure-highest-degree compatible vertex. *)
+  let vs =
+    List.sort
+      (fun a b ->
+        Int.compare
+          (VSet.cardinal (closure_neighbors g b))
+          (VSet.cardinal (closure_neighbors g a)))
+      (G.vertices g)
+  in
+  let clique =
+    List.fold_left
+      (fun clique v ->
+        if
+          List.for_all
+            (fun w -> G.has_edge v w g || G.has_edge w v g)
+            clique
+        then v :: clique
+        else clique)
+      [] vs
+  in
+  List.length clique

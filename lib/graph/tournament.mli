@@ -1,0 +1,31 @@
+(** Tournament (directed-clique) detection.
+
+    Following the paper (Section 2.4, footnote 2), a {e tournament} is a set
+    of vertices such that between any two {e distinct} vertices [v, w] there
+    is an edge [v → w] {e or} [w → v] — the "or" is inclusive, so both
+    orientations may be present. A tournament of size [k] in the E-graph of
+    an instance witnesses [Tournaments_E] at size [k] (Definition 9).
+
+    Tournaments in a digraph are exactly the cliques of its {e orientation
+    closure}: the undirected graph with an edge between [v] and [w] iff
+    [v → w] or [w → v]. We therefore run Bron–Kerbosch with pivoting on
+    that closure. *)
+
+val max_tournament : Digraph.Term_graph.t -> Nca_logic.Term.t list
+(** A maximum-size tournament of the graph (empty list for the empty
+    graph). Exponential in the worst case but fast on chase-sized graphs. *)
+
+val max_tournament_size : Digraph.Term_graph.t -> int
+
+val has_tournament_of_size : int -> Digraph.Term_graph.t -> bool
+(** Early-exit search for a tournament of at least the given size. *)
+
+val find_tournament_of_size :
+  int -> Digraph.Term_graph.t -> Nca_logic.Term.t list option
+
+val is_tournament : Nca_logic.Term.t list -> Digraph.Term_graph.t -> bool
+(** Check that the given vertices form a tournament in the graph. *)
+
+val greedy_lower_bound : Digraph.Term_graph.t -> int
+(** A cheap greedy lower bound on the maximum tournament size (used to
+    prune the exact search and as a fast statistic in benchmarks). *)

@@ -1,0 +1,61 @@
+type t = { pred : Symbol.t; args : Term.t list }
+
+let make pred args =
+  if List.length args <> Symbol.arity pred then
+    invalid_arg
+      (Fmt.str "Atom.make: %a applied to %d arguments" Symbol.pp pred
+         (List.length args));
+  { pred; args }
+
+let app name args = make (Symbol.make name (List.length args)) args
+let top = { pred = Symbol.top; args = [] }
+let pred a = a.pred
+let args a = a.args
+let arity a = Symbol.arity a.pred
+
+let terms a =
+  List.fold_left (fun acc t -> Term.Set.add t acc) Term.Set.empty a.args
+
+let vars a =
+  List.fold_left
+    (fun acc t -> if Term.is_mappable t then Term.Set.add t acc else acc)
+    Term.Set.empty a.args
+
+let map f a = { a with args = List.map f a.args }
+let is_binary a = arity a = 2
+
+let as_edge a =
+  match a.args with [ s; t ] -> Some (s, t) | _ -> None
+
+let compare a b =
+  match Symbol.compare a.pred b.pred with
+  | 0 -> List.compare Term.compare a.args b.args
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf a =
+  if Symbol.arity a.pred = 0 then Symbol.pp_name ppf a.pred
+  else
+    Fmt.pf ppf "@[<h>%a(%a)@]" Symbol.pp_name a.pred
+      Fmt.(list ~sep:(any ",") Term.pp)
+      a.args
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let terms_of_list atoms =
+  List.fold_left (fun acc a -> Term.Set.union acc (terms a)) Term.Set.empty
+    atoms
+
+let vars_of_list atoms =
+  List.fold_left (fun acc a -> Term.Set.union acc (vars a)) Term.Set.empty
+    atoms
+
+let pp_list ppf atoms = Fmt.(list ~sep:comma pp) ppf atoms

@@ -1,0 +1,39 @@
+(** Atoms: a predicate applied to a tuple of terms. *)
+
+type t = private { pred : Symbol.t; args : Term.t list }
+
+val make : Symbol.t -> Term.t list -> t
+(** [make p args] builds [p(args)]. Raises [Invalid_argument] when
+    [List.length args <> Symbol.arity p]. *)
+
+val app : string -> Term.t list -> t
+(** [app name args] is [make (Symbol.make name (List.length args)) args]:
+    a convenience constructor that infers the arity. *)
+
+val top : t
+(** The nullary fact [⊤]. *)
+
+val pred : t -> Symbol.t
+val args : t -> Term.t list
+val arity : t -> int
+
+val terms : t -> Term.Set.t
+val vars : t -> Term.Set.t
+(** Mappable terms (variables and nulls) occurring in the atom. *)
+
+val map : (Term.t -> Term.t) -> t -> t
+
+val is_binary : t -> bool
+val as_edge : t -> (Term.t * Term.t) option
+(** [as_edge a] is [Some (s, t)] when [a = P(s, t)] for a binary [P]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val terms_of_list : t list -> Term.Set.t
+val vars_of_list : t list -> Term.Set.t
+val pp_list : t list Fmt.t

@@ -1,0 +1,25 @@
+(* A retraction is an endomorphism whose image is a proper sub-instance.
+   We look for a homomorphism from the instance to itself that merges at
+   least two terms: its image then has fewer atoms or at least fewer
+   terms, and iterating reaches the core. To guarantee progress we only
+   accept endomorphisms whose atom image is a proper subset. *)
+
+let proper_image i h =
+  let img = Instance.apply h i in
+  if Instance.cardinal img < Instance.cardinal i then Some img else None
+
+exception Found of Instance.t
+
+let retract i =
+  try
+    Hom.iter (Instance.atoms i) i (fun h ->
+        match proper_image i h with
+        | Some img -> raise (Found img)
+        | None -> ());
+    None
+  with Found img -> Some img
+
+let rec core i = match retract i with None -> i | Some smaller -> core smaller
+let is_core i = Option.is_none (retract i)
+
+let equivalent_via_cores a b = Hom.isomorphic (core a) (core b)

@@ -1,0 +1,25 @@
+(** Cores of instances.
+
+    The {e core} of an instance is a minimal sub-instance it retracts
+    onto — the canonical representative of its homomorphic-equivalence
+    class, unique up to isomorphism. Cores are the standard canonical
+    form in chase theory: two instances are homomorphically equivalent
+    iff their cores are isomorphic, which turns the paper's pervasive
+    "↔" comparisons (Cor. 15, Lemmas 19/24/30) into decidable
+    isomorphism checks on small inputs.
+
+    Computation is by iterated proper retraction (exponential in the
+    worst case — meant for chase-prefix-sized inputs). *)
+
+val retract : Instance.t -> Instance.t option
+(** One step: the image of a proper endomorphism (strictly fewer atoms),
+    if any. Constants are fixed, as always. *)
+
+val core : Instance.t -> Instance.t
+(** The core, by retracting to a fixpoint. *)
+
+val is_core : Instance.t -> bool
+(** No proper retraction exists. *)
+
+val equivalent_via_cores : Instance.t -> Instance.t -> bool
+(** Homomorphic equivalence decided as isomorphism of cores. *)

@@ -1,0 +1,92 @@
+exception Found of Subst.t
+
+(* State of the backtracking search: current bindings plus, for injective
+   search, the set of target terms already used as images. *)
+type state = { sub : Subst.t; used : Term.Set.t }
+
+(* Try to extend [st] so that the source atom [a] matches the target atom
+   [b]; both have the same predicate. *)
+let match_atom ~inj st a b =
+  let rec go st ss ts =
+    match (ss, ts) with
+    | [], [] -> Some st
+    | s :: ss, t :: ts -> (
+        if not (Term.is_mappable s) then
+          if Term.equal s t then go st ss ts else None
+        else
+          match Subst.find_opt s st.sub with
+          | Some u -> if Term.equal u t then go st ss ts else None
+          | None ->
+              if inj && Term.Set.mem t st.used then None
+              else
+                go
+                  {
+                    sub = Subst.add s t st.sub;
+                    used = (if inj then Term.Set.add t st.used else st.used);
+                  }
+                  ss ts)
+    | _ -> None
+  in
+  go st (Atom.args a) (Atom.args b)
+
+let bound_terms st a =
+  List.fold_left
+    (fun n t ->
+      if (not (Term.is_mappable t)) || Subst.mem t st.sub then n + 1 else n)
+    0 (Atom.args a)
+
+(* Pick the most-constrained remaining atom (most already-bound positions),
+   a cheap forward-checking heuristic. *)
+let pick st atoms =
+  let rec go best best_score acc = function
+    | [] -> (best, List.rev acc)
+    | a :: rest ->
+        let score = bound_terms st a in
+        if score > best_score then go a score (best :: acc) rest
+        else go best best_score (a :: acc) rest
+  in
+  match atoms with
+  | [] -> invalid_arg "Hom.pick: empty"
+  | a :: rest -> go a (bound_terms st a) [] rest
+
+let iter ?(inj = false) ?(init = Subst.empty) src tgt f =
+  let used =
+    if inj then Subst.range init else Term.Set.empty
+  in
+  let rec solve st = function
+    | [] -> f st.sub
+    | atoms ->
+        let a, rest = pick st atoms in
+        List.iter
+          (fun b ->
+            match match_atom ~inj st a b with
+            | Some st' -> solve st' rest
+            | None -> ())
+          (Instance.with_pred (Atom.pred a) tgt)
+  in
+  solve { sub = init; used } src
+
+let find ?inj ?init src tgt =
+  try
+    iter ?inj ?init src tgt (fun s -> raise (Found s));
+    None
+  with Found s -> Some s
+
+let exists ?inj ?init src tgt = Option.is_some (find ?inj ?init src tgt)
+
+let all ?inj ?init src tgt =
+  let acc = ref [] in
+  iter ?inj ?init src tgt (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let count ?inj ?init src tgt =
+  let n = ref 0 in
+  iter ?inj ?init src tgt (fun _ -> incr n);
+  !n
+
+let maps_into a b = exists (Instance.atoms a) b
+let hom_equiv a b = maps_into a b && maps_into b a
+
+let isomorphic a b =
+  Instance.cardinal a = Instance.cardinal b
+  && exists ~inj:true (Instance.atoms a) b

@@ -1,0 +1,102 @@
+type t = { atoms : Atom.Set.t; index : Atom.Set.t Symbol.Map.t }
+
+let empty = { atoms = Atom.Set.empty; index = Symbol.Map.empty }
+
+let add a i =
+  if Atom.Set.mem a i.atoms then i
+  else
+    {
+      atoms = Atom.Set.add a i.atoms;
+      index =
+        Symbol.Map.update (Atom.pred a)
+          (function
+            | None -> Some (Atom.Set.singleton a)
+            | Some s -> Some (Atom.Set.add a s))
+          i.index;
+    }
+
+let remove a i =
+  if not (Atom.Set.mem a i.atoms) then i
+  else
+    {
+      atoms = Atom.Set.remove a i.atoms;
+      index =
+        Symbol.Map.update (Atom.pred a)
+          (function
+            | None -> None
+            | Some s ->
+                let s = Atom.Set.remove a s in
+                if Atom.Set.is_empty s then None else Some s)
+          i.index;
+    }
+
+let of_list l = List.fold_left (fun i a -> add a i) empty l
+let top = of_list [ Atom.top ]
+let atoms i = Atom.Set.elements i.atoms
+let to_set i = i.atoms
+let mem a i = Atom.Set.mem a i.atoms
+let cardinal i = Atom.Set.cardinal i.atoms
+let is_empty i = Atom.Set.is_empty i.atoms
+let fold f i acc = Atom.Set.fold f i.atoms acc
+let iter f i = Atom.Set.iter f i.atoms
+let union a b = fold add b a
+let diff a b = fold remove b a
+let inter a b = fold (fun x acc -> if mem x b then acc else remove x acc) a a
+let subset a b = Atom.Set.subset a.atoms b.atoms
+let equal a b = Atom.Set.equal a.atoms b.atoms
+let compare a b = Atom.Set.compare a.atoms b.atoms
+let filter p i = fold (fun a acc -> if p a then acc else remove a acc) i i
+let for_all p i = Atom.Set.for_all p i.atoms
+let exists p i = Atom.Set.exists p i.atoms
+
+let adom i =
+  fold (fun a acc -> Term.Set.union acc (Atom.terms a)) i Term.Set.empty
+
+let with_pred p i =
+  match Symbol.Map.find_opt p i.index with
+  | None -> []
+  | Some s -> Atom.Set.elements s
+
+let signature i =
+  Symbol.Map.fold (fun p _ acc -> Symbol.Set.add p acc) i.index
+    Symbol.Set.empty
+
+let restrict sign i =
+  filter (fun a -> Symbol.Set.mem (Atom.pred a) sign) i
+
+let map_terms f i = fold (fun a acc -> add (Atom.map f a) acc) i empty
+let apply s i = map_terms (Subst.apply s) i
+
+let rename_apart ~avoid i =
+  ignore avoid;
+  let renaming =
+    Term.Set.fold
+      (fun t acc ->
+        if Term.is_mappable t then Subst.add t (Term.fresh_var ()) acc
+        else acc)
+      (adom i) Subst.empty
+  in
+  (apply renaming i, renaming)
+
+let critical sign =
+  let star = Term.Cst "*" in
+  Symbol.Set.fold
+    (fun p acc ->
+      add (Atom.make p (List.init (Symbol.arity p) (fun _ -> star))) acc)
+    sign empty
+
+let generalize i =
+  map_terms
+    (fun t ->
+      match t with Term.Cst c -> Term.var ("g!" ^ c) | Term.Var _ | Term.Null _ -> t)
+    i
+
+let disjoint_union a b =
+  let b', _ = rename_apart ~avoid:(adom a) b in
+  union a b'
+
+let edges p i =
+  List.filter_map Atom.as_edge (with_pred p i)
+
+let pp ppf i =
+  Fmt.pf ppf "{@[<hov>%a@]}" Fmt.(list ~sep:comma Atom.pp) (atoms i)

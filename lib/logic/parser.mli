@@ -1,0 +1,44 @@
+(** Text format for rules, facts and queries.
+
+    Grammar (comments start with [#] or [//] and run to end of line):
+    {v
+      program   ::= statement*
+      statement ::= fact | rule | query
+      fact      ::= atoms "."              (identifiers are constants)
+      rule      ::= [name ":"] atoms "->" atoms "."
+                                           (identifiers are variables)
+      query     ::= "?" atoms "."          (Boolean)
+                  | "?(" terms ")" atoms "."
+      atoms     ::= atom ("," atom)*
+      atom      ::= PRED [ "(" terms ")" ]
+      terms     ::= term ("," term)*
+    v}
+    Predicate names start with an uppercase letter, terms with a lowercase
+    letter, a digit or [_]. The arity of a predicate is inferred from its
+    first use and must stay consistent. *)
+
+type program = {
+  facts : Instance.t;
+  rules : Rule.t list;
+  queries : Cq.t list;
+}
+
+exception Error of string
+(** Raised on lexical, syntactic or arity errors, with a message that
+    includes the line number. *)
+
+val parse_program : string -> program
+val parse_rules : string -> Rule.t list
+val parse_instance : string -> Instance.t
+val parse_query : string -> Cq.t
+val parse_rule : string -> Rule.t
+
+val rule : string -> Rule.t
+(** Inline single-rule parser (no trailing dot required) — convenient for
+    building rule sets in code and tests. *)
+
+val instance : string -> Instance.t
+(** Inline facts parser: comma-separated atoms, identifiers as constants. *)
+
+val query : string -> Cq.t
+(** Inline query parser. *)

@@ -1,0 +1,84 @@
+type t = { name : string; body : Atom.t list; head : Atom.t list }
+
+let counter = ref 0
+
+let make ?name body head =
+  if body = [] then invalid_arg "Rule.make: empty body";
+  if head = [] then invalid_arg "Rule.make: empty head";
+  let check atoms =
+    List.iter
+      (fun a ->
+        List.iter
+          (fun t ->
+            if Term.is_null t then
+              invalid_arg
+                (Fmt.str "Rule.make: null %a in rule" Term.pp t))
+          (Atom.args a))
+      atoms
+  in
+  check body;
+  check head;
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        incr counter;
+        Fmt.str "r%d" !counter
+  in
+  { name; body; head }
+
+let name r = r.name
+let body r = r.body
+let head r = r.head
+let body_vars r = Atom.vars_of_list r.body
+let head_vars r = Atom.vars_of_list r.head
+let frontier r = Term.Set.inter (body_vars r) (head_vars r)
+let exist_vars r = Term.Set.diff (head_vars r) (body_vars r)
+let is_datalog r = Term.Set.is_empty (exist_vars r)
+
+let rename ?name r =
+  let renaming =
+    Term.Set.fold
+      (fun x acc -> Subst.add x (Term.fresh_var ()) acc)
+      (Term.Set.union (body_vars r) (head_vars r))
+      Subst.empty
+  in
+  {
+    name = Option.value name ~default:r.name;
+    body = Subst.apply_atoms renaming r.body;
+    head = Subst.apply_atoms renaming r.head;
+  }
+
+let rename_apart r = rename r
+
+let signature rules =
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc a -> Symbol.Set.add (Atom.pred a) acc)
+        acc (r.body @ r.head))
+    Symbol.Set.empty rules
+
+let split_datalog rules = List.partition is_datalog rules
+
+let compare r r' =
+  match String.compare r.name r'.name with
+  | 0 -> (
+      match List.compare Atom.compare r.body r'.body with
+      | 0 -> List.compare Atom.compare r.head r'.head
+      | c -> c)
+  | c -> c
+
+let equal r r' = compare r r' = 0
+
+let pp ppf r =
+  let ev = exist_vars r in
+  if Term.Set.is_empty ev then
+    Fmt.pf ppf "@[<hov 2>%s: %a ->@ %a@]" r.name Atom.pp_list r.body
+      Atom.pp_list r.head
+  else
+    Fmt.pf ppf "@[<hov 2>%s: %a ->@ ∃%a. %a@]" r.name Atom.pp_list r.body
+      Fmt.(list ~sep:comma Term.pp)
+      (Term.Set.elements ev) Atom.pp_list r.head
+
+let pp_set ppf rules = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp) rules

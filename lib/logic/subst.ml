@@ -1,0 +1,49 @@
+type t = Term.t Term.Map.t
+
+let empty = Term.Map.empty
+let is_empty = Term.Map.is_empty
+
+let add x t s =
+  if not (Term.is_mappable x) then
+    invalid_arg (Fmt.str "Subst.add: constant %a in domain" Term.pp x);
+  Term.Map.add x t s
+
+let singleton x t = add x t empty
+let of_list l = List.fold_left (fun s (x, t) -> add x t s) empty l
+let bindings = Term.Map.bindings
+let find_opt = Term.Map.find_opt
+let mem = Term.Map.mem
+
+let domain s =
+  Term.Map.fold (fun x _ acc -> Term.Set.add x acc) s Term.Set.empty
+
+let range s =
+  Term.Map.fold (fun _ t acc -> Term.Set.add t acc) s Term.Set.empty
+
+let apply s t = match Term.Map.find_opt t s with Some u -> u | None -> t
+let apply_atom s a = Atom.map (apply s) a
+let apply_atoms s atoms = List.map (apply_atom s) atoms
+
+let compose s1 s2 =
+  let first = Term.Map.map (apply s2) s1 in
+  Term.Map.union (fun _ fst _ -> Some fst) first s2
+
+let restrict dom s = Term.Map.filter (fun x _ -> Term.Set.mem x dom) s
+
+let is_injective_on dom s =
+  let images = Hashtbl.create 16 in
+  Term.Set.for_all
+    (fun x ->
+      let y = apply s x in
+      match Hashtbl.find_opt images y with
+      | Some x' -> Term.equal x x'
+      | None ->
+          Hashtbl.add images y x;
+          true)
+    dom
+
+let equal = Term.Map.equal Term.equal
+
+let pp ppf s =
+  let pp_binding ppf (x, t) = Fmt.pf ppf "%a↦%a" Term.pp x Term.pp t in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:comma pp_binding) (bindings s)

@@ -1,0 +1,45 @@
+(** Substitutions: finite maps from mappable terms to terms.
+
+    A substitution is the paper's notion of a function from variables to
+    variables (extended here to labelled nulls). Applying a substitution
+    leaves terms outside its domain — and all constants — unchanged. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : Term.t -> Term.t -> t -> t
+(** [add x t s] binds [x] to [t]. Raises [Invalid_argument] when [x] is a
+    constant (constants are rigid). Rebinding an already-bound term
+    overwrites the previous binding. *)
+
+val singleton : Term.t -> Term.t -> t
+val of_list : (Term.t * Term.t) list -> t
+val bindings : t -> (Term.t * Term.t) list
+
+val find_opt : Term.t -> t -> Term.t option
+val mem : Term.t -> t -> bool
+val domain : t -> Term.Set.t
+val range : t -> Term.Set.t
+
+val apply : t -> Term.t -> Term.t
+(** [apply s t] is [s(t)]: the binding of [t] if any, otherwise [t]. Not
+    iterated: bindings are applied once. *)
+
+val apply_atom : t -> Atom.t -> Atom.t
+val apply_atoms : t -> Atom.t list -> Atom.t list
+
+val compose : t -> t -> t
+(** [compose s1 s2] is the substitution [t ↦ s2(s1(t))], with domain
+    [domain s1 ∪ domain s2]. *)
+
+val restrict : Term.Set.t -> t -> t
+(** Keep only bindings whose key belongs to the given set. *)
+
+val is_injective_on : Term.Set.t -> t -> bool
+(** [is_injective_on dom s] holds when [s] maps distinct elements of [dom]
+    to distinct images. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,31 @@
+type t = { name : string; arity : int }
+
+let make name arity =
+  if arity < 0 then invalid_arg "Symbol.make: negative arity";
+  if String.equal name "" then invalid_arg "Symbol.make: empty name";
+  { name; arity }
+
+let name s = s.name
+let arity s = s.arity
+let top = { name = "TOP"; arity = 0 }
+
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> Int.compare a.arity b.arity
+  | c -> c
+
+let equal a b = compare a b = 0
+let hash s = Hashtbl.hash (s.name, s.arity)
+let pp ppf s = Fmt.pf ppf "%s/%d" s.name s.arity
+let pp_name ppf s = Fmt.string ppf s.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let is_binary_signature s = Set.for_all (fun p -> p.arity <= 2) s

@@ -1,0 +1,36 @@
+(** Predicate symbols.
+
+    A symbol is a predicate name together with its arity. Following the
+    paper's preliminaries, every predicate [P] comes with a fixed arity
+    [ar(P) >= 0]; a {e signature} is a set of predicates
+    (see {!module:Signature} helpers below). *)
+
+type t = private { name : string; arity : int }
+
+val make : string -> int -> t
+(** [make name arity] builds a predicate symbol. Raises [Invalid_argument]
+    if [arity < 0] or [name] is empty. *)
+
+val name : t -> string
+val arity : t -> int
+
+val top : t
+(** The nullary predicate [⊤] that, by convention (Section 2.1), belongs to
+    every instance. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : t Fmt.t
+(** Prints as [name/arity]. *)
+
+val pp_name : t Fmt.t
+(** Prints just the name. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val is_binary_signature : Set.t -> bool
+(** [is_binary_signature s] holds when every predicate in [s] has arity at
+    most 2 (the paper's notion of a binary signature). *)

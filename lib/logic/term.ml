@@ -1,0 +1,56 @@
+type t =
+  | Var of string
+  | Cst of string
+  | Null of int
+
+let var v = Var v
+let cst c = Cst c
+let null n = Null n
+
+let is_var = function Var _ -> true | Cst _ | Null _ -> false
+let is_cst = function Cst _ -> true | Var _ | Null _ -> false
+let is_null = function Null _ -> true | Var _ | Cst _ -> false
+let is_mappable = function Var _ | Null _ -> true | Cst _ -> false
+
+let var_counter = ref 0
+let null_counter = ref 0
+
+let fresh_var ?(prefix = "v") () =
+  incr var_counter;
+  Var (Printf.sprintf "_%s%d" prefix !var_counter)
+
+let fresh_null () =
+  incr null_counter;
+  Null !null_counter
+
+let refresh () =
+  var_counter := 0;
+  null_counter := 0
+
+let kind_rank = function Var _ -> 0 | Cst _ -> 1 | Null _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Cst x, Cst y -> String.compare x y
+  | Null x, Null y -> Int.compare x y
+  | _ -> Int.compare (kind_rank a) (kind_rank b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Var v -> Fmt.string ppf v
+  | Cst c -> Fmt.string ppf c
+  | Null n -> Fmt.pf ppf "_:n%d" n
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let pp_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp) (Set.elements s)

@@ -1,0 +1,47 @@
+(** Terms: variables, constants and labelled nulls.
+
+    The paper works purely with variables; for engineering purposes we
+    distinguish three kinds of terms:
+    - {!Var}: universally/existentially quantified variables of rules and
+      queries, and the frontier placeholders of surgeries;
+    - {!Cst}: named elements of databases (rigid under homomorphisms);
+    - {!Null}: fresh labelled nulls invented by the chase.
+
+    Homomorphisms may move [Var] and [Null] terms but fix every [Cst]. *)
+
+type t =
+  | Var of string
+  | Cst of string
+  | Null of int
+
+val var : string -> t
+val cst : string -> t
+val null : int -> t
+
+val is_var : t -> bool
+val is_cst : t -> bool
+val is_null : t -> bool
+
+val is_mappable : t -> bool
+(** [is_mappable t] holds for variables and nulls: the terms a homomorphism
+    is allowed to rename. *)
+
+val fresh_var : ?prefix:string -> unit -> t
+(** A globally fresh variable (gensym). The optional [prefix] is kept in the
+    generated name for readability. *)
+
+val fresh_null : unit -> t
+(** A globally fresh labelled null. *)
+
+val refresh : unit -> unit
+(** Reset both gensym counters. Only for use in test set-up, where
+    reproducible names matter. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val pp_set : Set.t Fmt.t

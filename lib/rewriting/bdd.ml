@@ -1,0 +1,35 @@
+open Nca_logic
+
+type verdict = {
+  query : Cq.t;
+  constant : int option;
+  rewriting : Ucq.t;
+}
+
+let for_query ?max_rounds ?max_disjuncts rules q =
+  let outcome = Rewrite.rewrite ?max_rounds ?max_disjuncts rules q in
+  {
+    query = q;
+    constant = (if outcome.complete then Some outcome.rounds else None);
+    rewriting = outcome.ucq;
+  }
+
+let for_signature ?max_rounds ?max_disjuncts rules sign =
+  Symbol.Set.elements sign
+  |> List.filter (fun p -> not (Symbol.equal p Symbol.top))
+  |> List.map (fun p -> for_query ?max_rounds ?max_disjuncts rules (Cq.atom_query p))
+
+let certified verdicts =
+  List.for_all (fun v -> Option.is_some v.constant) verdicts
+
+let cross_validate ?(depth = 6) rules q rewriting instances =
+  List.for_all
+    (fun i ->
+      let chase = Nca_chase.Chase.run ~max_depth:depth i rules in
+      let chase_side = Cq.holds chase.Nca_chase.Chase.instance q in
+      let rewrite_side = Ucq.holds i rewriting in
+      (* The rewriting may only anticipate atoms the truncated chase has
+         not yet produced, never the converse. *)
+      if chase.Nca_chase.Chase.saturated then chase_side = rewrite_side
+      else (not chase_side) || rewrite_side)
+    instances

@@ -1,0 +1,37 @@
+(** Bounded derivation depth (Definition 3) and its checks.
+
+    A rule set has bdd iff every CQ admits a finite UCQ rewriting
+    (Proposition 4). Semantic bdd-ness is undecidable in general, so this
+    module provides:
+    - a {e certificate} check: the rewriting of a query reaches a fixpoint
+      within a budget, yielding the rewriting and an upper bound on the
+      bdd-constant;
+    - a whole-signature check over the atomic queries of a signature
+      (sufficient in practice for the experiment suite);
+    - a chase-side cross-validation harness (Definition 3 verbatim on
+      sample instances). *)
+
+open Nca_logic
+
+type verdict = {
+  query : Cq.t;
+  constant : int option;  (** upper bound on [bdd(q, R)]; [None] = budget out *)
+  rewriting : Ucq.t;
+}
+
+val for_query : ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> Cq.t -> verdict
+
+val for_signature :
+  ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> Symbol.Set.t ->
+  verdict list
+(** One verdict per atomic query [P(x̄)] of the signature. *)
+
+val certified : verdict list -> bool
+(** All verdicts have a finite constant. *)
+
+val cross_validate :
+  ?depth:int -> Rule.t list -> Cq.t -> Ucq.t -> Instance.t list -> bool
+(** Definition 2 on samples: for each instance [I],
+    [Ch(I,R) ⊨ q ⟺ I ⊨ Q]. The chase is truncated at [depth] (default 6),
+    so a mismatch is a genuine refutation only in the ⊨-on-[I] direction;
+    the harness reports logical equivalence of what it can observe. *)

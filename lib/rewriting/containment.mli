@@ -1,0 +1,36 @@
+(** Conjunctive-query containment and minimization (Chandra–Merlin).
+
+    [q ⊑ q'] (every answer of [q] is an answer of [q'] on every instance)
+    iff there is a homomorphism from [q'] to [q] preserving answers — the
+    canonical-database argument. Minimization computes the {e core} of a
+    query: a minimal equivalent sub-query, unique up to isomorphism. The
+    rewriting engine's subsumption cover is containment-based; this
+    module exposes the relation itself, plus minimization, which keeps
+    rewriting disjuncts small and canonical. *)
+
+open Nca_logic
+
+val contained : Cq.t -> Cq.t -> bool
+(** [contained q q']: [q ⊑ q']. Constants are allowed and rigid. *)
+
+val equivalent : Cq.t -> Cq.t -> bool
+
+val canonical_database : Cq.t -> Instance.t * Term.t list
+(** The frozen body (variables become fresh constants) and the frozen
+    answer tuple — the Chandra–Merlin instance. *)
+
+val minimize : Cq.t -> Cq.t
+(** The core of the query: a minimal equivalent sub-query obtained by
+    iteratively dropping atoms while equivalence persists. *)
+
+val is_minimal : Cq.t -> bool
+
+val ucq_contained : Ucq.t -> Ucq.t -> bool
+(** [Q ⊑ Q']: every disjunct of [Q] is contained in some disjunct of
+    [Q'] (sound and complete for UCQs). *)
+
+val ucq_equivalent : Ucq.t -> Ucq.t -> bool
+
+val minimize_ucq : Ucq.t -> Ucq.t
+(** Minimize every disjunct, then drop disjuncts contained in another —
+    the canonical form of a UCQ rewriting. *)

@@ -1,0 +1,86 @@
+open Nca_logic
+
+(* All partitions of a list, as lists of non-empty blocks. *)
+let rec partitions = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      List.concat_map
+        (fun blocks ->
+          (* x in its own block, or added to an existing block *)
+          ([ x ] :: blocks)
+          :: List.mapi
+               (fun i _ ->
+                 List.mapi
+                   (fun j b -> if i = j then x :: b else b)
+                   blocks)
+               blocks)
+        (partitions rest)
+
+let specializations q =
+  let vars = Term.Set.elements (Cq.vars q) in
+  if List.length vars > 10 then
+    invalid_arg "Injective.specializations: too many variables";
+  let answer_vars = Cq.answer_vars q in
+  let subst_of_blocks blocks =
+    List.fold_left
+      (fun acc block ->
+        (* Prefer an answer variable as representative so the answer tuple
+           stays within answer variables. *)
+        let rep =
+          match List.filter (fun v -> Term.Set.mem v answer_vars) block with
+          | r :: _ -> r
+          | [] -> List.hd block
+        in
+        List.fold_left (fun acc v -> Subst.add v rep acc) acc block)
+      Subst.empty blocks
+  in
+  let identity_first a b =
+    Int.compare (List.length b) (List.length a)
+    (* more blocks = fewer identifications; the identity has |vars| blocks *)
+  in
+  let dedup_body q =
+    Cq.make ~answer:(Cq.answer q) (List.sort_uniq Atom.compare (Cq.body q))
+  in
+  partitions vars
+  |> List.sort identity_first
+  |> List.map (fun blocks -> dedup_body (Cq.apply (subst_of_blocks blocks) q))
+
+let iso_cq q q' =
+  Cq.size q = Cq.size q'
+  && List.length (Cq.answer q) = List.length (Cq.answer q')
+  && Term.Set.cardinal (Cq.vars q) = Term.Set.cardinal (Cq.vars q')
+  &&
+  let init =
+    List.fold_left2
+      (fun acc x y ->
+        match acc with
+        | None -> None
+        | Some s -> (
+            match Subst.find_opt x s with
+            | Some y' -> if Term.equal y y' then acc else None
+            | None -> Some (Subst.add x y s)))
+      (Some Subst.empty) (Cq.answer q) (Cq.answer q')
+  in
+  match init with
+  | None -> false
+  | Some init ->
+      let target = Instance.of_list (Cq.body q') in
+      Instance.cardinal (Instance.of_list (Cq.body q))
+      = Instance.cardinal target
+      && Hom.exists ~inj:true ~init (Cq.body q) target
+
+let of_ucq u =
+  let disjuncts =
+    List.concat_map specializations (Ucq.disjuncts u)
+  in
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | q :: rest ->
+        if List.exists (iso_cq q) acc then dedup acc rest
+        else dedup (q :: acc) rest
+  in
+  Ucq.make (dedup [] disjuncts)
+
+let injective_rewriting ?max_rounds ?max_disjuncts rules q =
+  let outcome = Rewrite.rewrite ?max_rounds ?max_disjuncts rules q in
+  { outcome with ucq = of_ucq outcome.ucq }

@@ -1,0 +1,32 @@
+(** Injective rewritings (Definition 2 rephrased, Proposition 6).
+
+    For every UCQ [Q] there is a UCQ [Q_inj] — the disjunction of all
+    {e specializations} of every disjunct — such that [I ⊨ Q(ā)] iff some
+    disjunct of [Q_inj] holds {e injectively} for [ā]. A specialization of
+    a CQ identifies some of its variables (a partition of its variable
+    set); this is the construction in the proof of Proposition 6.
+
+    The disjuncts of an injective UCQ may not be minimized by plain
+    subsumption: injective entailment is not monotone under homomorphisms.
+    Only isomorphic duplicates are removed. *)
+
+open Nca_logic
+
+val specializations : Cq.t -> Cq.t list
+(** All specializations of the CQ, one per partition of its variable set
+    (answer variables map to answer variables). The identity specialization
+    comes first. Raises [Invalid_argument] beyond 10 variables (Bell-number
+    blowup). *)
+
+val of_ucq : Ucq.t -> Ucq.t
+(** [Q_inj] as in Proposition 6, with isomorphic duplicates removed. *)
+
+val injective_rewriting :
+  ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> Cq.t ->
+  Rewrite.outcome
+(** [rew_inj(q, R)]: the plain rewriting (minimized) followed by the
+    specialization closure. The [ucq] field of the result is [Q_inj]. *)
+
+val iso_cq : Cq.t -> Cq.t -> bool
+(** Isomorphism of CQs: a bijective renaming of variables mapping body to
+    body and answer tuple to answer tuple pointwise. *)

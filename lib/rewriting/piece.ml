@@ -1,0 +1,153 @@
+open Nca_logic
+
+(* Union-find over terms, persistent enough for our scale: we keep a simple
+   association of term -> representative recomputed on merge. *)
+module UF = struct
+  type t = Term.t Term.Map.t
+
+  let empty : t = Term.Map.empty
+
+  let rec find uf x =
+    match Term.Map.find_opt x uf with
+    | None -> x
+    | Some p -> if Term.equal p x then x else find uf p
+
+  let union uf x y =
+    let rx = find uf x and ry = find uf y in
+    if Term.equal rx ry then uf else Term.Map.add rx ry uf
+
+  (* All classes as lists of members, for terms seen in [terms]. *)
+  let classes uf terms =
+    let tbl = Hashtbl.create 16 in
+    Term.Set.iter
+      (fun t ->
+        let r = find uf t in
+        Hashtbl.replace tbl r (t :: Option.value ~default:[] (Hashtbl.find_opt tbl r)))
+      terms;
+    Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+end
+
+let check_constant_free_rule r =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun t ->
+          if Term.is_cst t then
+            invalid_arg "Piece.rewrite_step: rule with constants")
+        (Atom.args a))
+    (Rule.body r @ Rule.head r)
+
+let check_constant_free_cq q =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun t ->
+          if Term.is_cst t then
+            invalid_arg "Piece.rewrite_step: query with constants")
+        (Atom.args a))
+    (Cq.body q)
+
+(* Unify the argument tuples of a query atom and a head atom. *)
+let unify_atom uf qa ha =
+  List.fold_left2
+    (fun uf s t -> match uf with None -> None | Some uf -> Some (UF.union uf s t))
+    (Some uf) (Atom.args qa) (Atom.args ha)
+
+(* Enumerate all non-empty sub-multisets of query atoms with a chosen head
+   atom each: for each query atom, either leave it out or map it to one of
+   the same-predicate head atoms. *)
+let enumerate_pieces q_atoms head_atoms k =
+  let rec go chosen uf = function
+    | [] -> if chosen = [] then () else k (List.rev chosen, uf)
+    | qa :: rest ->
+        (* leave qa out of the piece *)
+        go chosen uf rest;
+        (* or map it to a compatible head atom *)
+        List.iter
+          (fun ha ->
+            if Symbol.equal (Atom.pred qa) (Atom.pred ha) then
+              match unify_atom uf qa ha with
+              | None -> ()
+              | Some uf' -> go ((qa, ha) :: chosen) uf' rest)
+          head_atoms
+  in
+  go [] UF.empty q_atoms
+
+let rewrite_step rule q =
+  check_constant_free_rule rule;
+  check_constant_free_cq q;
+  let rule = Rule.rename_apart rule in
+  let head = Rule.head rule in
+  let exist = Rule.exist_vars rule in
+  let frontier = Rule.frontier rule in
+  let answer_vars = Cq.answer_vars q in
+  let results = ref [] in
+  enumerate_pieces (Cq.body q) head (fun (piece, uf) ->
+      let piece_atoms = List.map fst piece in
+      let outside =
+        List.filter
+          (fun a -> not (List.exists (fun b -> Atom.equal a b) piece_atoms))
+          (Cq.body q)
+      in
+      let outside_vars = Atom.vars_of_list outside in
+      let seen_terms =
+        Term.Set.union
+          (Atom.vars_of_list piece_atoms)
+          (Atom.vars_of_list (List.map snd piece))
+      in
+      let classes = UF.classes uf seen_terms in
+      (* Validity of the piece condition on every class. *)
+      let class_ok members =
+        let exist_members = List.filter (fun t -> Term.Set.mem t exist) members in
+        match exist_members with
+        | [] -> true
+        | [ _ ] ->
+            List.for_all
+              (fun t ->
+                Term.Set.mem t exist
+                || (not (Term.Set.mem t frontier))
+                   && (not (Term.Set.mem t answer_vars))
+                   && not (Term.Set.mem t outside_vars))
+              members
+        | _ :: _ :: _ -> false
+      in
+      if List.for_all class_ok classes then begin
+        (* Representative: prefer an answer variable, then any query
+           variable, then a frontier variable. *)
+        let rep members =
+          let score t =
+            if Term.Set.mem t answer_vars then 0
+            else if not (Term.Set.mem t exist || Term.Set.mem t frontier)
+            then 1
+            else if Term.Set.mem t frontier then 2
+            else 3
+          in
+          List.fold_left
+            (fun best t -> if score t < score best then t else best)
+            (List.hd members) members
+        in
+        let mapping =
+          List.fold_left
+            (fun acc members ->
+              let r = rep members in
+              List.fold_left (fun acc t -> Term.Map.add t r acc) acc members)
+            Term.Map.empty classes
+        in
+        let subst t =
+          match Term.Map.find_opt t mapping with Some r -> r | None -> t
+        in
+        let new_body =
+          List.map (Atom.map subst) (Rule.body rule)
+          @ List.map (Atom.map subst) outside
+        in
+        let new_answer = List.map subst (Cq.answer q) in
+        (* Deduplicate atoms. *)
+        let new_body =
+          List.sort_uniq Atom.compare new_body
+        in
+        results := Cq.make ~answer:new_answer new_body :: !results
+      end);
+  !results
+
+let rewrite_step_all rules q =
+  List.concat_map (fun r -> rewrite_step r q) rules

@@ -1,0 +1,26 @@
+(** Piece unifiers: one backward-chaining step of UCQ rewriting.
+
+    Given a CQ [q(x̄)] and a rule [ρ = B → ∃z̄ H], a {e piece unifier}
+    unifies a non-empty subset [Q' ⊆ q] with head atoms of [ρ] such that
+    every unification class containing an existential variable of [ρ]
+    contains, besides it, only query variables that occur in no atom of
+    [q ∖ Q'] and are not answer variables. The associated rewriting is
+    [u(B) ∪ u(q ∖ Q')] — it entails [q] after one application of [ρ].
+
+    This is the classical rewriting operator of König, Leclère, Mugnier,
+    Thomazo ("Sound, complete and minimal UCQ-rewriting for existential
+    rules"), which the paper relies on for [rew] (Definition 29) and for
+    the existence of minimal rewritings (Section 2.3).
+
+    Restriction: rules and queries must be constant-free (which all rule
+    sets in this development are — the parser builds rules over variables
+    only); [rewrite_step] raises [Invalid_argument] otherwise. *)
+
+open Nca_logic
+
+val rewrite_step : Rule.t -> Cq.t -> Cq.t list
+(** All one-step rewritings of the query with the given rule (the rule is
+    freshly renamed internally). Results are not minimized. *)
+
+val rewrite_step_all : Rule.t list -> Cq.t -> Cq.t list
+(** One-step rewritings over a whole rule set. *)

@@ -1,0 +1,72 @@
+open Nca_logic
+
+type result = {
+  rules : Rule.t list;
+  added : int;
+  complete : bool;
+}
+
+(* A rule equals another up to renaming when their bodies and heads are
+   isomorphic as a pair; a cheap sufficient check keeps duplicates out. *)
+let same_rule r1 r2 =
+  let as_cq r =
+    (* answer tuple = sorted frontier; body = body @ head tagged apart is
+       overkill — compare body and head separately through Injective.iso_cq
+       style checks would need nca_rewriting; use syntactic equality after
+       canonical renaming instead. *)
+    let vars =
+      Term.Set.elements (Term.Set.union (Rule.body_vars r) (Rule.head_vars r))
+    in
+    let renaming =
+      List.mapi (fun i v -> (v, Term.var (Fmt.str "c%d" i))) vars
+      |> List.fold_left (fun acc (v, c) -> Subst.add v c acc) Subst.empty
+    in
+    ( List.sort Atom.compare (Subst.apply_atoms renaming (Rule.body r)),
+      List.sort Atom.compare (Subst.apply_atoms renaming (Rule.head r)) )
+  in
+  as_cq r1 = as_cq r2
+
+let rewrite_rule ?max_rounds ?max_disjuncts all_rules rho =
+  let frontier = Term.Set.elements (Rule.frontier rho) in
+  let body_query = Cq.make ~answer:frontier (Rule.body rho) in
+  let outcome =
+    Nca_rewriting.Rewrite.rewrite ?max_rounds ?max_disjuncts all_rules
+      body_query
+  in
+  let rules =
+    List.mapi
+      (fun i q ->
+        (* The disjunct's answer tuple is a specialization of the frontier:
+           apply the same identifications to the head. *)
+        let head_subst =
+          List.fold_left2
+            (fun acc y y' ->
+              if Term.equal y y' then acc else Subst.add y y' acc)
+            Subst.empty frontier (Cq.answer q)
+        in
+        Rule.make
+          ~name:(Fmt.str "%s_rw%d" (Rule.name rho) i)
+          (Cq.body q)
+          (Subst.apply_atoms head_subst (Rule.head rho)))
+      (Ucq.disjuncts outcome.ucq)
+  in
+  (rules, outcome.complete)
+
+let apply ?max_rounds ?max_disjuncts rules =
+  (* Definition 29 states the surgery for existential rules; quickness
+     (Lemma 32) additionally needs Datalog heads derivable in one step, so
+     we rewrite every rule body — Lemma 30 is unaffected, as each added
+     rule is sound and subsumed by a derivation in the original set. *)
+  let added, complete =
+    List.fold_left
+      (fun (acc, complete) rho ->
+        let rw, c = rewrite_rule ?max_rounds ?max_disjuncts rules rho in
+        let fresh =
+          List.filter
+            (fun r -> not (List.exists (same_rule r) (rules @ acc)))
+            rw
+        in
+        (acc @ fresh, complete && c))
+      ([], true) rules
+  in
+  { rules = rules @ added; added = List.length added; complete }

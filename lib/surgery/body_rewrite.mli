@@ -1,0 +1,28 @@
+(** Body rewriting [rew] (Definition 29, Section 4.4).
+
+    For each rule [ρ = B(x̄, ȳ) → ∃z̄ H(ȳ, z̄)] of a rule set
+    [S], [rew(ρ, S)] contains one rule [q(x̄', ȳ') → ∃z̄ H(ȳ', z̄)] per
+    disjunct [∃x̄' q(x̄', ȳ')] of the UCQ rewriting of [∃x̄ B(x̄, ȳ)]
+    against [S] (the frontier plays the role of the answer variables, and
+    may be specialized). [rew(S) = S ∪ ⋃_ρ rew(ρ, S)].
+
+    Definition 29 states the surgery for existential rules only; we apply
+    it to Datalog rules as well, which quickness of Datalog-derived atoms
+    requires and which none of the preservation lemmas is harmed by.
+
+    Lemma 30: the chase is preserved up to homomorphic equivalence.
+    Lemma 31: UCQ-rewritability, predicate-uniqueness and
+    forward-existentiality are preserved. Lemma 32: [rew(S)] is quick. *)
+
+open Nca_logic
+
+type result = {
+  rules : Rule.t list;  (** [rew(S)] *)
+  added : int;  (** how many rules were added *)
+  complete : bool;  (** all body rewritings reached their fixpoint *)
+}
+
+val apply : ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> result
+(** Compute [rew(S)]. [complete = false] signals that some body rewriting
+    exhausted its budget: the result is then sound (a subset of the full
+    [rew(S)] containing [S]) but quickness is not guaranteed. *)

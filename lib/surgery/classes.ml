@@ -1,0 +1,115 @@
+open Nca_logic
+
+let is_linear rules =
+  List.for_all (fun r -> List.length (Rule.body r) <= 1) rules
+
+let has_guard vars atoms =
+  List.exists (fun a -> Term.Set.subset vars (Atom.vars a)) atoms
+
+let is_guarded rules =
+  List.for_all (fun r -> has_guard (Rule.body_vars r) (Rule.body r)) rules
+
+let is_frontier_guarded rules =
+  List.for_all (fun r -> has_guard (Rule.frontier r) (Rule.body r)) rules
+
+let is_datalog rules = List.for_all Rule.is_datalog rules
+
+module PosSet = Set.Make (struct
+  type t = Symbol.t * int
+
+  let compare (p, i) (q, j) =
+    match Symbol.compare p q with 0 -> Int.compare i j | c -> c
+end)
+
+let positions_of_var atoms x =
+  List.concat_map
+    (fun a ->
+      List.mapi
+        (fun i t -> if Term.equal t x then Some (Atom.pred a, i) else None)
+        (Atom.args a)
+      |> List.filter_map Fun.id)
+    atoms
+
+(* The sticky marking: a variable of a rule is marked when it misses the
+   head, or occurs in the head at an already-marked position; marking a
+   variable marks all its body positions. Iterate to fixpoint over the
+   global set of marked positions. *)
+let marking rules =
+  let marked_vars_of marked r =
+    let head_vars = Rule.head_vars r in
+    Term.Set.filter
+      (fun x ->
+        (not (Term.Set.mem x head_vars))
+        || List.exists
+             (fun pos -> PosSet.mem pos marked)
+             (positions_of_var (Rule.head r) x))
+      (Rule.body_vars r)
+  in
+  let step marked =
+    List.fold_left
+      (fun acc r ->
+        Term.Set.fold
+          (fun x acc ->
+            List.fold_left
+              (fun acc pos -> PosSet.add pos acc)
+              acc
+              (positions_of_var (Rule.body r) x))
+          (marked_vars_of marked r) acc)
+      marked rules
+  in
+  let rec fix marked =
+    let next = step marked in
+    if PosSet.equal next marked then marked else fix next
+  in
+  fix PosSet.empty
+
+let marked_positions rules = PosSet.elements (marking rules)
+
+let is_sticky rules =
+  let marked = marking rules in
+  List.for_all
+    (fun r ->
+      let head_vars = Rule.head_vars r in
+      Term.Set.for_all
+        (fun x ->
+          let occurrences =
+            List.fold_left
+              (fun n a ->
+                List.fold_left
+                  (fun n t -> if Term.equal t x then n + 1 else n)
+                  n (Atom.args a))
+              0 (Rule.body r)
+          in
+          let x_marked =
+            (not (Term.Set.mem x head_vars))
+            || List.exists
+                 (fun pos -> PosSet.mem pos marked)
+                 (positions_of_var (Rule.head r) x)
+          in
+          occurrences <= 1 || not x_marked)
+        (Rule.body_vars r))
+    rules
+
+type t = {
+  linear : bool;
+  guarded : bool;
+  frontier_guarded : bool;
+  sticky : bool;
+  datalog : bool;
+  weakly_acyclic : bool;
+}
+
+let classify rules =
+  {
+    linear = is_linear rules;
+    guarded = is_guarded rules;
+    frontier_guarded = is_frontier_guarded rules;
+    sticky = is_sticky rules;
+    datalog = is_datalog rules;
+    weakly_acyclic = Nca_chase.Acyclicity.is_weakly_acyclic rules;
+  }
+
+let pp ppf c =
+  Fmt.pf ppf "linear=%b guarded=%b frontier-guarded=%b sticky=%b datalog=%b \
+              weakly-acyclic=%b"
+    c.linear c.guarded c.frontier_guarded c.sticky c.datalog c.weakly_acyclic

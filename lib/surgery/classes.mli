@@ -1,0 +1,43 @@
+(** Syntactic membership tests for the classical decidable classes the
+    paper's introduction surveys.
+
+    - {e linear}: at most one body atom [Calì, Gottlob, Kifer] — always
+      UCQ-rewritable;
+    - {e guarded}: some body atom contains all body variables — bounded
+      treewidth chases, finitely controllable [Bárány, Gottlob, Otto];
+    - {e frontier-guarded}: some body atom contains all frontier
+      variables;
+    - {e sticky}: the marking procedure of [Calì, Gottlob, Pieris] — also
+      UCQ-rewritable and finitely controllable [Gogacz, Marcinkowski];
+    - {e weakly acyclic}: see {!Nca_chase.Acyclicity} — terminating chase.
+
+    These are sufficient conditions only; the rewriting engine
+    ({!Nca_rewriting.Bdd}) gives per-query semantic certificates. *)
+
+open Nca_logic
+
+val is_linear : Rule.t list -> bool
+val is_guarded : Rule.t list -> bool
+val is_frontier_guarded : Rule.t list -> bool
+val is_datalog : Rule.t list -> bool
+
+val is_sticky : Rule.t list -> bool
+(** The marking procedure: mark every body occurrence of a variable that
+    does not appear in the rule's head; propagate backwards (a variable
+    occurring in a head at a marked position becomes marked in the body);
+    sticky iff no marked variable occurs more than once in a body. *)
+
+val marked_positions : Rule.t list -> (Symbol.t * int) list
+(** The fixpoint of the sticky marking, exposed for inspection. *)
+
+type t = {
+  linear : bool;
+  guarded : bool;
+  frontier_guarded : bool;
+  sticky : bool;
+  datalog : bool;
+  weakly_acyclic : bool;
+}
+
+val classify : Rule.t list -> t
+val pp : t Fmt.t

@@ -1,0 +1,16 @@
+(** Instance encoding: the surgery of Section 4.1.
+
+    [⊤ → J] (Definition 12) is the rule
+    [⊤ → ∃ f(adom(J)) ⋀_{A(t̄) ∈ J} A(f(t̄))] with [f] a bijective renaming
+    of the instance's terms to fresh variables. Corollary 15:
+    [Ch(J, S) ↔ Ch({⊤}, S ∪ {⊤ → J})]; Observation 16: the surgery
+    preserves UCQ-rewritability. *)
+
+open Nca_logic
+
+val freeze : Instance.t -> Rule.t
+(** The rule [⊤ → J]. *)
+
+val encode : Instance.t -> Rule.t list -> Rule.t list
+(** [S ∪ {⊤ → J}]: the rule set whose chase from [{⊤}] is homomorphically
+    equivalent to [Ch(J, S)]. *)

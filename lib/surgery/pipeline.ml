@@ -1,0 +1,92 @@
+open Nca_logic
+
+type step = {
+  label : string;
+  rules : Rule.t list;
+  note : string;
+}
+
+type t = {
+  steps : step list;
+  final : Rule.t list;
+  complete : bool;
+}
+
+let regalize ?max_rounds ?max_disjuncts i rules =
+  let encoded = Encode.encode i rules in
+  let step1 =
+    {
+      label = "encode";
+      rules = encoded;
+      note = "instance folded into ⊤ → I (Def. 12)";
+    }
+  in
+  let reified = if Reify.needed encoded then Reify.rules encoded else encoded in
+  let step2 =
+    {
+      label = "reify";
+      rules = reified;
+      note =
+        (if Reify.needed encoded then "higher-arity predicates reified (4.2)"
+         else "already binary — identity");
+    }
+  in
+  let streamlined = Streamline.apply reified in
+  let step3 =
+    {
+      label = "streamline";
+      rules = streamlined;
+      note = "heads split into ρ_init/ρ_∃/ρ_DL (4.3)";
+    }
+  in
+  let rw = Body_rewrite.apply ?max_rounds ?max_disjuncts streamlined in
+  let step4 =
+    {
+      label = "body-rewrite";
+      rules = rw.rules;
+      note = Fmt.str "rew(S): %d rules added (4.4)" rw.added;
+    }
+  in
+  {
+    steps = [ step1; step2; step3; step4 ];
+    final = rw.rules;
+    complete = rw.complete;
+  }
+
+let restrict_binary sign inst =
+  let binary_part =
+    Symbol.Set.filter (fun p -> Symbol.arity p <= 2) sign
+  in
+  Instance.restrict binary_part inst
+
+let verify_chase_preservation ?(depth = 4) i rules t =
+  let original_sign = Rule.signature rules in
+  (* The restricted chase is homomorphically equivalent to the oblivious
+     one and keeps the comparison instances small; streamlining stretches
+     each original step into three, hence the 3k+3 slack. *)
+  let run d j rs =
+    Nca_chase.Chase.run ~variant:Nca_chase.Chase.Restricted ~max_depth:d j rs
+  in
+  let reference = run depth i rules in
+  let reference_far = run ((3 * depth) + 3) i rules in
+  let check step =
+    let transformed = run ((3 * depth) + 3) Instance.top step.rules in
+    let transformed_near = run depth Instance.top step.rules in
+    let restr c = restrict_binary original_sign c.Nca_chase.Chase.instance in
+    let forward =
+      Hom.exists
+        (Instance.atoms
+           (Instance.generalize
+              (restrict_binary original_sign reference.instance)))
+        (restr transformed)
+    in
+    let backward =
+      Hom.exists
+        (Instance.atoms (restr transformed_near))
+        (restrict_binary original_sign reference_far.instance)
+    in
+    (step.label, forward && backward)
+  in
+  List.map check t.steps
+
+let final_report t = Properties.describe t.final

@@ -1,0 +1,36 @@
+(** The full Section-4 regalization pipeline.
+
+    Starting from an instance [I] and a UCQ-rewritable rule set [R], apply
+    in order: instance encoding (4.1), reification (4.2), streamlining
+    (4.3) and body rewriting (4.4). The final rule set is {e regal}
+    (Definition 27): UCQ-rewritable, quick, forward-existential and
+    predicate-unique, over a binary signature — and its chase from [{⊤}]
+    is homomorphically equivalent (restricted to the original signature,
+    and up to reification) to [Ch(I, R)]. *)
+
+open Nca_logic
+
+type step = {
+  label : string;
+  rules : Rule.t list;
+  note : string;
+}
+
+type t = {
+  steps : step list;  (** encode → reify → streamline → body-rewrite *)
+  final : Rule.t list;  (** the regal rule set *)
+  complete : bool;  (** every rewriting budget sufficed *)
+}
+
+val regalize :
+  ?max_rounds:int -> ?max_disjuncts:int -> Instance.t -> Rule.t list -> t
+
+val verify_chase_preservation :
+  ?depth:int -> Instance.t -> Rule.t list -> t -> (string * bool) list
+(** For each pipeline step, check the step's chase-preservation lemma on
+    the given input: the chase of the step's rules from [{⊤}], restricted
+    to the original signature, is homomorphically equivalent to
+    [Ch(I, R)] truncated at the same depth. Reified steps are compared
+    on the at-most-binary part of the original signature. *)
+
+val final_report : t -> Properties.report

@@ -1,0 +1,76 @@
+open Nca_logic
+
+let is_forward_existential_rule r =
+  Rule.is_datalog r
+  ||
+  let frontier = Rule.frontier r and exist = Rule.exist_vars r in
+  List.for_all
+    (fun a ->
+      match Atom.args a with
+      | [ x; y ] -> Term.Set.mem x frontier && Term.Set.mem y exist
+      | _ -> true)
+    (Rule.head r)
+
+let is_forward_existential rules =
+  List.for_all is_forward_existential_rule rules
+
+let is_predicate_unique_rule r =
+  Rule.is_datalog r
+  ||
+  let rec distinct = function
+    | [] -> true
+    | a :: rest ->
+        (not (List.exists (fun b -> Symbol.equal (Atom.pred a) (Atom.pred b)) rest))
+        && distinct rest
+  in
+  distinct (Rule.head r)
+
+let is_predicate_unique rules = List.for_all is_predicate_unique_rule rules
+
+let is_binary rules =
+  Symbol.Set.for_all (fun p -> Symbol.arity p <= 2) (Rule.signature rules)
+
+let quickness_counterexample ?(depth = 5) rules samples =
+  List.find_map
+    (fun i ->
+      let adom = Instance.adom i in
+      let full = Nca_chase.Chase.run ~max_depth:depth i rules in
+      let one = Nca_chase.Chase.level full 1 in
+      Instance.fold
+        (fun beta acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if
+                Term.Set.subset (Atom.terms beta) adom
+                && not (Instance.mem beta one)
+              then Some (i, beta)
+              else None)
+        full.Nca_chase.Chase.instance None)
+    samples
+
+let is_quick_on ?depth rules samples =
+  Option.is_none (quickness_counterexample ?depth rules samples)
+
+type report = {
+  binary : bool;
+  forward_existential : bool;
+  predicate_unique : bool;
+  datalog_count : int;
+  existential_count : int;
+}
+
+let describe rules =
+  let dl, ex = Rule.split_datalog rules in
+  {
+    binary = is_binary rules;
+    forward_existential = is_forward_existential rules;
+    predicate_unique = is_predicate_unique rules;
+    datalog_count = List.length dl;
+    existential_count = List.length ex;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "binary=%b fwd∃=%b pred-uniq=%b #DL=%d #∃=%d" r.binary
+    r.forward_existential r.predicate_unique r.datalog_count
+    r.existential_count

@@ -1,0 +1,59 @@
+open Nca_logic
+
+let position_symbol a i =
+  Symbol.make (Fmt.str "%s#%d" (Symbol.name a) i) 2
+
+let signature s =
+  Symbol.Set.fold
+    (fun p acc ->
+      if Symbol.arity p <= 2 then Symbol.Set.add p acc
+      else
+        List.fold_left
+          (fun acc i -> Symbol.Set.add (position_symbol p i) acc)
+          acc
+          (List.init (Symbol.arity p) (fun i -> i + 1)))
+    s Symbol.Set.empty
+
+let atom ~fresh a =
+  if Atom.arity a <= 2 then [ a ]
+  else
+    let name = fresh () in
+    List.mapi
+      (fun i t -> Atom.make (position_symbol (Atom.pred a) (i + 1)) [ t; name ])
+      (Atom.args a)
+
+let instance i =
+  Instance.fold
+    (fun a acc ->
+      List.fold_left
+        (fun acc b -> Instance.add b acc)
+        acc
+        (atom ~fresh:Term.fresh_null a))
+    i Instance.empty
+
+let rules rs =
+  List.map
+    (fun r ->
+      let body =
+        List.concat_map
+          (atom ~fresh:(fun () -> Term.fresh_var ~prefix:"rb" ()))
+          (Rule.body r)
+      in
+      let head =
+        List.concat_map
+          (atom ~fresh:(fun () -> Term.fresh_var ~prefix:"rh" ()))
+          (Rule.head r)
+      in
+      Rule.make ~name:(Rule.name r) body head)
+    rs
+
+let cq q =
+  let body =
+    List.concat_map
+      (atom ~fresh:(fun () -> Term.fresh_var ~prefix:"rq" ()))
+      (Cq.body q)
+  in
+  Cq.make ~answer:(Cq.answer q) body
+
+let needed rs =
+  Symbol.Set.exists (fun p -> Symbol.arity p > 2) (Rule.signature rs)

@@ -1,0 +1,450 @@
+(* Tests for the analysis extensions: coloring & Conjecture 44, instance
+   cores, derivation traces, DOT export, OBQA answering, and the
+   rewriting-cover ablation. *)
+
+open Nca_logic
+module G = Nca_graph.Digraph.Term_graph
+module Coloring = Nca_graph.Coloring
+module Dot = Nca_graph.Dot
+module Conjecture44 = Nca_core.Conjecture44
+module Derivation = Nca_chase.Derivation
+module Answering = Nca_rewriting.Answering
+module Rulesets = Nca_core.Rulesets
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let v i = Term.cst (Printf.sprintf "v%d" i)
+let graph edges = G.of_edges (List.map (fun (i, j) -> (v i, v j)) edges)
+let e2 = Symbol.make "E" 2
+
+(* ------------------------------------------------------------------ *)
+(* Coloring *)
+
+let test_coloring_bipartite () =
+  let g = graph [ (1, 2); (3, 2); (1, 4); (3, 4) ] in
+  check "2-colorable" true (Coloring.is_k_colorable 2 g);
+  check "not 1-colorable" false (Coloring.is_k_colorable 1 g);
+  check "χ = 2" true (Coloring.chromatic_number g = Some 2)
+
+let test_coloring_triangle () =
+  let g = graph [ (1, 2); (2, 3); (3, 1) ] in
+  check "χ = 3" true (Coloring.chromatic_number g = Some 3);
+  check "not 2-colorable" false (Coloring.is_k_colorable 2 g)
+
+let test_coloring_odd_cycle () =
+  (* C5: χ = 3 though the largest tournament has size 2 — the Erdős
+     phenomenon in miniature *)
+  let g = graph [ (1, 2); (2, 3); (3, 4); (4, 5); (5, 1) ] in
+  check "χ(C5) = 3" true (Coloring.chromatic_number g = Some 3);
+  check_int "tournament only 2" 2 (Coloring.clique_lower_bound g)
+
+let test_coloring_loop () =
+  let g = graph [ (1, 1) ] in
+  check "loops kill colorability" true (Coloring.chromatic_number g = None);
+  check "greedy agrees" true (Coloring.greedy_chromatic g = None);
+  check "no k works" false (Coloring.is_k_colorable 5 g)
+
+let test_coloring_both_directions () =
+  (* u ↔ w is one closure edge, not two *)
+  let g = graph [ (1, 2); (2, 1) ] in
+  check "χ = 2" true (Coloring.chromatic_number g = Some 2)
+
+let test_coloring_witness_proper () =
+  let g = graph [ (1, 2); (2, 3); (3, 1); (3, 4) ] in
+  match Coloring.coloring 3 g with
+  | None -> Alcotest.fail "expected a 3-coloring"
+  | Some assignment ->
+      List.iter
+        (fun (x, cx) ->
+          List.iter
+            (fun (y, cy) ->
+              if
+                (not (Term.equal x y))
+                && (G.has_edge x y g || G.has_edge y x g)
+              then check "proper" false (cx = cy))
+            assignment)
+        assignment
+
+let test_greedy_upper_bound () =
+  let g = graph [ (1, 2); (2, 3); (3, 4); (4, 5); (5, 1) ] in
+  match (Coloring.greedy_chromatic g, Coloring.chromatic_number g) with
+  | Some greedy, Some exact -> check "greedy ≥ exact" true (greedy >= exact)
+  | _ -> Alcotest.fail "expected colorable"
+
+(* ------------------------------------------------------------------ *)
+(* Conjecture 44 explorer *)
+
+let test_c44_example1 () =
+  let entry = Rulesets.example1 in
+  let points =
+    Conjecture44.series ~max_depth:4 ~e:entry.e entry.instance entry.rules
+  in
+  check "χ grows with the order" true
+    (List.exists
+       (fun (p : Conjecture44.point) ->
+         match p.chromatic with Some k -> k >= 4 | None -> false)
+       points);
+  check "χ matches tournament on transitive chains" true
+    (List.for_all
+       (fun (p : Conjecture44.point) ->
+         match p.chromatic with
+         | Some k -> k = p.tournament
+         | None -> p.loop)
+       points);
+  check "consistent with C44" true (Conjecture44.verdict points = `Consistent)
+
+let test_c44_loop_infinite_chromatic () =
+  let entry = Rulesets.example1_bdd in
+  let points =
+    Conjecture44.series ~max_depth:3 ~e:entry.e entry.instance entry.rules
+  in
+  check "after the loop, χ is undefined" true
+    (List.exists
+       (fun (p : Conjecture44.point) -> p.loop && p.chromatic = None)
+       points)
+
+let test_c44_zoo_consistent () =
+  List.iter
+    (fun name ->
+      let entry = Rulesets.find name in
+      let points =
+        Conjecture44.series ~max_depth:3 ~e:entry.e entry.instance entry.rules
+      in
+      check (name ^ " C44-consistent") true
+        (Conjecture44.verdict points = `Consistent))
+    [ "example1_bdd"; "dense"; "succ_only"; "symmetric"; "tangle" ]
+
+(* ------------------------------------------------------------------ *)
+(* Instance cores *)
+
+let test_core_collapses_redundancy () =
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  let e s t = Atom.app "E" [ s; t ] in
+  (* E(x,y) ∧ E(x,z): z-branch retracts onto y-branch *)
+  let i = Instance.of_list [ e x y; e x z ] in
+  let c = Core.core i in
+  check_int "one atom" 1 (Instance.cardinal c);
+  check "equivalent to original" true (Hom.hom_equiv i c)
+
+let test_core_of_core_is_core () =
+  let x = Term.var "x" and y = Term.var "y" in
+  let e s t = Atom.app "E" [ s; t ] in
+  let i = Instance.of_list [ e x y; e y x ] in
+  let c = Core.core i in
+  check "idempotent" true (Instance.equal (Core.core c) c);
+  check "is_core" true (Core.is_core c)
+
+let test_core_constants_fixed () =
+  let i = Parser.instance "E(a,b), E(a,c)" in
+  (* constants are rigid: nothing retracts *)
+  check "ground instances are cores" true (Core.is_core i);
+  check_int "unchanged" 2 (Instance.cardinal (Core.core i))
+
+let test_core_equivalence_decision () =
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  let e s t = Atom.app "E" [ s; t ] in
+  let single = Instance.of_list [ e x y ] in
+  let fan = Instance.of_list [ e x y; e x z; e (Term.var "u") y ] in
+  check "fan ≡ edge via cores" true (Core.equivalent_via_cores single fan);
+  let loop = Instance.of_list [ e x x ] in
+  check "loop ≢ edge" false (Core.equivalent_via_cores single loop)
+
+let test_core_loop_absorbs () =
+  let x = Term.var "x" and y = Term.var "y" in
+  let e s t = Atom.app "E" [ s; t ] in
+  (* an edge next to a loop retracts onto the loop *)
+  let i = Instance.of_list [ e x x; e x y ] in
+  check_int "core is the loop" 1 (Instance.cardinal (Core.core i))
+
+(* ------------------------------------------------------------------ *)
+(* Derivation traces *)
+
+let test_derivation_of_database_term () =
+  let entry = Rulesets.example1 in
+  let chase = Nca_chase.Chase.run ~max_depth:3 entry.instance entry.rules in
+  let d = Derivation.of_term chase (Term.cst "a") in
+  check "database term has no rule" true (d.rule = None);
+  check_int "depth 0" 0 (Derivation.depth d)
+
+let test_derivation_of_null () =
+  (* succ_only: the only derivations are chains, so trace depth equals
+     the timestamp *)
+  let entry = Rulesets.succ_only in
+  let chase = Nca_chase.Chase.run ~max_depth:3 entry.instance entry.rules in
+  let deep =
+    Term.Set.fold
+      (fun t acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if Nca_chase.Chase.timestamp chase t = 3 then Some t else None)
+      (Nca_chase.Chase.invented chase)
+      None
+  in
+  match deep with
+  | None -> Alcotest.fail "expected a level-3 null"
+  | Some t ->
+      let d = Derivation.of_term chase t in
+      check_int "depth 3" 3 (Derivation.depth d);
+      check "uses succ" true (List.mem "succ" (Derivation.rules_used d));
+      let rendered = Fmt.str "%a" Derivation.pp d in
+      check "pp renders" true (String.length rendered > 10)
+
+(* ------------------------------------------------------------------ *)
+(* DOT export *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_dot_graph () =
+  let g = graph [ (1, 2) ] in
+  let dot = Dot.of_graph ~name:"test" g in
+  check "digraph header" true (contains dot "digraph \"test\"");
+  check "edge rendered" true (contains dot "\"v1\" -> \"v2\"")
+
+let test_dot_highlight () =
+  let g = graph [ (1, 2) ] in
+  let dot = Dot.of_graph ~highlight:(Term.Set.singleton (v 1)) g in
+  check "highlight style" true (contains dot "lightblue")
+
+let test_dot_instance () =
+  let i = Parser.instance "E(a,b), F(b,c)" in
+  let dot = Dot.of_instance ~e:e2 i in
+  check "only E edges" true (contains dot "\"a\" -> \"b\"");
+  check "F not an edge" false (contains dot "\"b\" -> \"c\"")
+
+let test_dot_cq () =
+  let q =
+    Cq.make
+      ~answer:[ Term.var "x"; Term.var "y" ]
+      [ Atom.app "E" [ Term.var "z"; Term.var "x" ];
+        Atom.app "E" [ Term.var "z"; Term.var "y" ] ]
+  in
+  let dot = Dot.of_cq q in
+  check "answers boxed" true (contains dot "\"x\" [shape=box]");
+  check "existential ellipse" true (contains dot "\"z\" [shape=ellipse]");
+  check "labelled edges" true (contains dot "label=\"E\"")
+
+(* ------------------------------------------------------------------ *)
+(* OBQA answering *)
+
+let obqa_rules =
+  Parser.parse_rules
+    {| k: Person(x) -> Knows(x,y).
+       p: Knows(x,y) -> Person(y). |}
+
+let obqa_db = Parser.instance "Person(ann), Knows(bob, ann)"
+
+let test_answers_via_chase () =
+  let q = Parser.query "?(x) Person(x)" in
+  let answers = Answering.answers_via_chase obqa_rules obqa_db q in
+  (* ann is given; bob only *knows*, nothing makes him a person; the
+     invented acquaintances are nulls and not certain answers *)
+  check_int "only ann" 1 (List.length answers);
+  check "no nulls among answers" true
+    (List.for_all (List.for_all Term.is_cst) answers)
+
+let test_answers_via_rewriting () =
+  let q = Parser.query "?(x) Person(x)" in
+  match Answering.answers_via_rewriting obqa_rules obqa_db q with
+  | None -> Alcotest.fail "rewriting should be complete"
+  | Some answers -> check_int "only ann" 1 (List.length answers)
+
+let test_methods_agree () =
+  List.iter
+    (fun src ->
+      let q = Parser.query src in
+      check (src ^ " agrees") true
+        (Answering.methods_agree obqa_rules obqa_db q = Some true))
+    [ "?(x) Person(x)"; "?(x) Knows(x,y)"; "? Knows(x,y), Person(y)" ]
+
+let test_entails_boolean () =
+  check "somebody knows somebody" true
+    (Answering.entails obqa_rules obqa_db (Parser.query "? Knows(x,y)"));
+  check "nobody knows ann's friend... wrong pattern" false
+    (Answering.entails obqa_rules obqa_db (Parser.query "? Lab(x)"))
+
+let test_rewrite_composed () =
+  (* Lemma 5 needs Ch(Ch(I,R₁),R₂) ↔ Ch(I,R₁∪R₂): here R₁ = F⇒E feeds
+     R₂ = symmetry, so rewriting first against R₂ then against R₁ is a
+     rewriting for the union *)
+  let r1 = Parser.parse_rules "f: F(x,y) -> E(x,y)." in
+  let r2 = Parser.parse_rules "sym: E(x,y) -> E(y,x)." in
+  let q = Cq.atom_query e2 in
+  let composed = Answering.rewrite_composed r1 r2 q in
+  check "complete" true composed.complete;
+  (* E(x,y) ∨ E(y,x) ∨ F(x,y) ∨ F(y,x) *)
+  check_int "four disjuncts" 4 (Ucq.size composed.ucq);
+  (* matches the direct rewriting against the union (Lemma 5) *)
+  let direct = Nca_rewriting.Rewrite.rewrite (r1 @ r2) q in
+  check "equivalent to union rewriting" true
+    (Ucq.equivalent composed.ucq direct.ucq);
+  (* with the roles swapped the commutation hypothesis fails and the
+     composition may genuinely miss disjuncts — Lemma 5's hypothesis is
+     not decorative *)
+  let swapped = Answering.rewrite_composed r2 r1 q in
+  check "swapped composition is weaker" true
+    (Ucq.size swapped.ucq < Ucq.size composed.ucq)
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting-cover ablation *)
+
+let test_minimize_ablation () =
+  let entry = Rulesets.symmetric in
+  let q = Cq.atom_query e2 in
+  let cover = Nca_rewriting.Rewrite.rewrite entry.rules q in
+  let no_cover =
+    Nca_rewriting.Rewrite.rewrite ~minimize:false entry.rules q
+  in
+  check "both complete" true (cover.complete && no_cover.complete);
+  check "same final cover" true (Ucq.equivalent cover.ucq no_cover.ucq)
+
+let test_minimize_ablation_generates_more () =
+  let entry = Rulesets.example1_bdd in
+  let q = Cq.atom_query e2 in
+  let cover = Nca_rewriting.Rewrite.rewrite ~max_rounds:6 entry.rules q in
+  let no_cover =
+    Nca_rewriting.Rewrite.rewrite ~max_rounds:6 ~minimize:false entry.rules q
+  in
+  check "no-cover generates at least as much" true
+    (no_cover.generated >= cover.generated)
+
+(* ------------------------------------------------------------------ *)
+(* Question 46 audit *)
+
+let test_q46_loop_free_within_bound () =
+  let a = Nca_core.Question46.audit ~depth:3 Rulesets.succ_only in
+  check "bdd" true a.bdd;
+  check "loop-free" false a.loop;
+  check "within bound" true a.within_bound;
+  check "rewriting nonempty" true (a.rewriting_disjuncts > 0)
+
+let test_q46_loop_case () =
+  let a = Nca_core.Question46.audit ~depth:3 Rulesets.example1_bdd in
+  check "loop" true a.loop;
+  check "vacuously within" true a.within_bound;
+  let rendered = Fmt.str "%a" Nca_core.Question46.pp a in
+  check "pp" true (String.length rendered > 10)
+
+(* ------------------------------------------------------------------ *)
+(* Critical instance *)
+
+let test_critical_instance () =
+  let sign = Symbol.Set.of_list [ e2; Symbol.make "A" 1 ] in
+  let i = Instance.critical sign in
+  check_int "one atom per predicate" 2 (Instance.cardinal i);
+  check_int "single constant" 1 (Term.Set.cardinal (Instance.adom i));
+  check "E loop present" true (Cq.holds i (Cq.loop_query e2))
+
+let test_critical_detects_nontermination_direction () =
+  (* the chase of the critical instance saturates for datalog... *)
+  let rules = Parser.parse_rules "tc: E(x,y), E(y,z) -> E(x,z)." in
+  let i = Instance.critical (Rule.signature rules) in
+  let c = Nca_chase.Chase.run ~max_depth:5 i rules in
+  check "datalog critical chase saturates" true c.saturated
+
+(* ------------------------------------------------------------------ *)
+
+let prop_chromatic_at_least_tournament =
+  QCheck.Test.make ~name:"χ ≥ max tournament" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun seed ->
+             Rulesets.random_instance ~seed ~constants:5 ~atoms:8
+               (Symbol.Set.singleton e2))
+           (int_range 0 5000)))
+    (fun i ->
+      let g = Nca_graph.Digraph.of_instance e2 i in
+      match Coloring.chromatic_number g with
+      | None -> Nca_graph.Digraph.Term_graph.has_loop g
+      | Some chi -> chi >= Nca_graph.Tournament.max_tournament_size g)
+
+let prop_core_equivalent =
+  QCheck.Test.make ~name:"core ≡ original" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun seed ->
+             (* variables, not constants, so retraction has room to act *)
+             Instance.generalize
+               (Rulesets.random_instance ~seed ~constants:4 ~atoms:6
+                  (Symbol.Set.singleton e2)))
+           (int_range 0 5000)))
+    (fun i ->
+      QCheck.assume (not (Instance.is_empty i));
+      let c = Core.core i in
+      Hom.hom_equiv i c && Core.is_core c)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_chromatic_at_least_tournament; prop_core_equivalent ]
+
+let tc name fn = Alcotest.test_case name `Quick fn
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "coloring",
+        [
+          tc "bipartite" test_coloring_bipartite;
+          tc "triangle" test_coloring_triangle;
+          tc "odd cycle (Erdős in miniature)" test_coloring_odd_cycle;
+          tc "loop" test_coloring_loop;
+          tc "bidirectional edge" test_coloring_both_directions;
+          tc "witness proper" test_coloring_witness_proper;
+          tc "greedy bound" test_greedy_upper_bound;
+        ] );
+      ( "conjecture44",
+        [
+          tc "example1 profile" test_c44_example1;
+          tc "loop ⇒ no coloring" test_c44_loop_infinite_chromatic;
+          tc "zoo consistent" test_c44_zoo_consistent;
+        ] );
+      ( "cores",
+        [
+          tc "collapse" test_core_collapses_redundancy;
+          tc "idempotent" test_core_of_core_is_core;
+          tc "constants fixed" test_core_constants_fixed;
+          tc "equivalence decision" test_core_equivalence_decision;
+          tc "loop absorbs" test_core_loop_absorbs;
+        ] );
+      ( "derivation",
+        [
+          tc "database term" test_derivation_of_database_term;
+          tc "null trace" test_derivation_of_null;
+        ] );
+      ( "dot",
+        [
+          tc "graph" test_dot_graph;
+          tc "highlight" test_dot_highlight;
+          tc "instance" test_dot_instance;
+          tc "query" test_dot_cq;
+        ] );
+      ( "answering",
+        [
+          tc "chase answers" test_answers_via_chase;
+          tc "rewriting answers" test_answers_via_rewriting;
+          tc "methods agree (prop 4)" test_methods_agree;
+          tc "boolean entailment" test_entails_boolean;
+          tc "composed rewriting (lemma 5)" test_rewrite_composed;
+        ] );
+      ( "ablation",
+        [
+          tc "cover vs no-cover agree" test_minimize_ablation;
+          tc "no-cover generates more" test_minimize_ablation_generates_more;
+        ] );
+      ( "question46",
+        [
+          tc "loop-free within bound" test_q46_loop_free_within_bound;
+          tc "loop case" test_q46_loop_case;
+        ] );
+      ( "critical",
+        [
+          tc "shape" test_critical_instance;
+          tc "datalog saturation" test_critical_detects_nontermination_direction;
+        ] );
+      ("qcheck", props);
+    ]

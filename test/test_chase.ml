@@ -1,0 +1,284 @@
+open Nca_logic
+module Chase = Nca_chase.Chase
+module Trigger = Nca_chase.Trigger
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let e2 = Symbol.make "E" 2
+let loop = Cq.loop_query e2
+
+let example1 = Nca_core.Rulesets.example1
+let example1_bdd = Nca_core.Rulesets.example1_bdd
+
+(* ------------------------------------------------------------------ *)
+(* Triggers *)
+
+let test_triggers_enumeration () =
+  let rules = Parser.parse_rules "tc: E(x,y), E(y,z) -> E(x,z)." in
+  let i = Parser.instance "E(a,b), E(b,c)" in
+  let ts = Trigger.all rules i in
+  (* homs: (a,b,c), (a,b)-(b,c) only... x→a y→b z→c; also x→y→z over the
+     same atom pairs in the other order fails; plus (b,c)+(c,?) none. *)
+  check_int "one join trigger" 1 (List.length ts)
+
+let test_trigger_output_fresh () =
+  let rule = Parser.rule "E(x,y) -> E(y,z)" in
+  let i = Parser.instance "E(a,b)" in
+  match Trigger.all [ rule ] i with
+  | [ tr ] ->
+      let out, ext = Trigger.output tr in
+      check_int "one atom" 1 (Instance.cardinal out);
+      let z = Subst.apply ext (Term.var "z") in
+      check "existential became a null" true (Term.is_null z);
+      let out2, _ = Trigger.output tr in
+      check "fresh nulls each time" false (Instance.equal out out2)
+  | _ -> Alcotest.fail "expected exactly one trigger"
+
+let test_trigger_key_identity () =
+  let rule = Parser.rule "E(x,y) -> E(y,z)" in
+  let i = Parser.instance "E(a,b)" in
+  match (Trigger.all [ rule ] i, Trigger.all [ rule ] i) with
+  | [ t1 ], [ t2 ] ->
+      Alcotest.(check string) "stable key" (Trigger.key t1) (Trigger.key t2)
+  | _ -> Alcotest.fail "expected exactly one trigger"
+
+let test_trigger_frontier_image () =
+  let rule = Parser.rule "E(x,y) -> E(y,z)" in
+  let i = Parser.instance "E(a,b)" in
+  match Trigger.all [ rule ] i with
+  | [ tr ] ->
+      check "frontier image is {b}" true
+        (Term.Set.equal (Trigger.frontier_image tr)
+           (Term.Set.singleton (Term.cst "b")))
+  | _ -> Alcotest.fail "expected exactly one trigger"
+
+(* ------------------------------------------------------------------ *)
+(* Chase basics *)
+
+let test_chase_example1 () =
+  let c = Chase.run ~max_depth:4 example1.instance example1.rules in
+  check "no loop in chase of Example 1" false (Chase.entails c loop);
+  check "E(a,b) kept" true
+    (Instance.mem (Atom.make e2 [ Term.cst "a"; Term.cst "b" ]) c.instance);
+  check "grows" true (Instance.cardinal c.instance > 1);
+  check "not saturated" false (c.saturated
+
+)
+
+let test_chase_example1_bdd_loop () =
+  let c = Chase.run ~max_depth:3 example1_bdd.instance example1_bdd.rules in
+  check "loop entailed" true (Chase.entails c loop);
+  match Chase.holds_at c loop with
+  | Some level -> check "loop appears by level 2" true (level <= 2)
+  | None -> Alcotest.fail "loop expected"
+
+let test_chase_datalog_saturates () =
+  let rules = Parser.parse_rules "sym: E(x,y) -> E(y,x)." in
+  let c = Chase.run (Parser.instance "E(a,b)") rules in
+  check "saturated" true c.saturated;
+  check_int "two atoms" 2 (Instance.cardinal c.instance);
+  check "symmetric edge" true
+    (Instance.mem (Atom.make e2 [ Term.cst "b"; Term.cst "a" ]) c.instance)
+
+let test_chase_levels_monotone () =
+  let c = Chase.run ~max_depth:3 example1.instance example1.rules in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        check "levels grow" true (Instance.subset a b);
+        pairs rest
+    | _ -> ()
+  in
+  pairs c.levels;
+  check_int "levels count" (c.depth + 1) (List.length c.levels)
+
+let test_chase_level_access () =
+  let c = Chase.run ~max_depth:3 example1.instance example1.rules in
+  check "level 0 is the database" true
+    (Instance.equal (Chase.level c 0) example1.instance);
+  check "level beyond depth clamps" true
+    (Instance.equal (Chase.level c 99) c.instance)
+
+let test_chase_timestamps () =
+  let c = Chase.run ~max_depth:3 example1.instance example1.rules in
+  check_int "database terms at 0" 0 (Chase.timestamp c (Term.cst "a"));
+  Term.Set.iter
+    (fun t ->
+      check "invented terms have positive timestamps" true
+        (Chase.timestamp c t > 0))
+    (Chase.invented c)
+
+let test_chase_provenance () =
+  let c = Chase.run ~max_depth:3 example1.instance example1.rules in
+  Term.Set.iter
+    (fun t ->
+      match Term.Map.find_opt t c.provenance with
+      | None -> Alcotest.fail "invented term without provenance"
+      | Some p ->
+          check "created by the existential rule" true
+            (String.equal (Rule.name p.rule) "succ");
+          check "provenance level matches timestamp" true
+            (p.level = Chase.timestamp c t))
+    (Chase.invented c)
+
+let test_chase_oblivious_refire () =
+  (* the oblivious chase fires a trigger even when its output is already
+     present: E(a,b) with rule E(x,y) -> E(y,z) twice over the same atom
+     is a single trigger, but a symmetric pair gives two *)
+  let rules = Parser.parse_rules "r: E(x,y) -> E(y,z)." in
+  let c = Chase.run ~max_depth:1 (Parser.instance "E(a,b), E(b,a)") rules in
+  check_int "two fresh terms at level 1" 2
+    (Term.Set.cardinal (Chase.invented c))
+
+let test_chase_max_atoms () =
+  let c =
+    Chase.run ~max_depth:50 ~max_atoms:30 example1.instance example1.rules
+  in
+  check "truncated" true c.truncated;
+  check "did not explode" true (Instance.cardinal c.instance < 1000)
+
+let test_chase_from_top () =
+  let rules =
+    Parser.parse_rules "init: TOP -> E(x,y). succ: E(x,y) -> E(y,z)."
+  in
+  let c = Chase.run ~max_depth:3 Instance.top rules in
+  check "E created from ⊤" true
+    (Cq.holds c.instance (Cq.boolean [ Atom.app "E" [ Term.var "u"; Term.var "v" ] ]));
+  check "all terms invented" true
+    (Term.Set.equal (Chase.invented c) (Chase.terms c))
+
+let test_chase_empty_rules () =
+  let c = Chase.run example1.instance [] in
+  check "saturated immediately" true c.saturated;
+  check "instance unchanged" true (Instance.equal c.instance example1.instance)
+
+let test_timestamp_multiset () =
+  let c = Chase.run ~max_depth:2 example1.instance example1.rules in
+  let ms = Chase.timestamp_multiset c (Instance.adom example1.instance) in
+  check_int "two database terms at 0" 2
+    (Nca_graph.Multiset.Int_multiset.count 0 ms)
+
+let test_e_graph () =
+  let c = Chase.run ~max_depth:2 example1.instance example1.rules in
+  let g = Chase.e_graph e2 c in
+  check "edges present" true (Nca_graph.Digraph.Term_graph.num_edges g > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Universality-flavored checks *)
+
+let test_chase_entails_its_queries () =
+  let c = Chase.run ~max_depth:3 example1.instance example1.rules in
+  let q = Parser.query "? E(x,y), E(y,z)" in
+  check "path of 2 entailed" true (Chase.entails c q)
+
+let test_chase_dag_for_forward_existential () =
+  (* Observation 35: the chase of a forward-existential set is a DAG *)
+  List.iter
+    (fun name ->
+      let entry = Nca_core.Rulesets.find name in
+      let _, existential = Rule.split_datalog entry.rules in
+      let c = Chase.run ~max_depth:4 entry.instance existential in
+      Term.Set.iter
+        (fun _ -> ())
+        (Chase.invented c);
+      let g = Nca_graph.Digraph.of_instance entry.e c.instance in
+      check (name ^ " existential chase is a DAG") true
+        (Nca_graph.Digraph.Term_graph.is_dag g || not
+           (Nca_surgery.Properties.is_forward_existential existential)))
+    [ "succ_only"; "example1_bdd"; "inclusion" ]
+
+let test_holds_at_first_level () =
+  let c = Chase.run ~max_depth:3 example1_bdd.instance example1_bdd.rules in
+  match Chase.holds_at c loop with
+  | None -> Alcotest.fail "loop expected"
+  | Some k ->
+      check "not at level 0" true (k > 0);
+      check "loop absent one level earlier" false
+        (Cq.holds (Chase.level c (k - 1)) loop)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let rules_arb =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          Nca_core.Rulesets.random_forward_existential_rules ~seed ~rules:4)
+        (int_range 0 10000))
+
+let prop_chase_monotone_in_depth =
+  QCheck.Test.make ~name:"deeper chase contains shallower" ~count:30 rules_arb
+    (fun rules ->
+      let i = Parser.instance "E(c0,c1), A(c0)" in
+      let c2 = Chase.run ~max_depth:2 i rules in
+      let c4 = Chase.run ~max_depth:4 i rules in
+      (* fresh nulls differ between runs; compare up to homomorphism *)
+      Hom.exists (Instance.atoms c2.instance) c4.instance)
+
+let prop_chase_preserves_database =
+  QCheck.Test.make ~name:"chase contains the database" ~count:30 rules_arb
+    (fun rules ->
+      let i = Parser.instance "E(c0,c1), B(c1)" in
+      let c = Chase.run ~max_depth:3 i rules in
+      Instance.subset i c.instance)
+
+let prop_dag_forward_existential =
+  QCheck.Test.make ~name:"Obs 35: fwd-existential chase from ⊤+seed is a DAG"
+    ~count:30 rules_arb (fun rules ->
+      QCheck.assume (Nca_surgery.Properties.is_forward_existential rules);
+      let _, existential = Rule.split_datalog rules in
+      let i = Parser.instance "E(c0,c1)" in
+      let c = Chase.run ~max_depth:4 i existential in
+      (* edges among invented terms only (database edges may be arbitrary) *)
+      let g =
+        Nca_graph.Digraph.Term_graph.restrict
+          (Nca_graph.Digraph.Term_graph.VSet.of_list
+             (Term.Set.elements (Chase.invented c)))
+          (Chase.e_graph e2 c)
+      in
+      Nca_graph.Digraph.Term_graph.is_dag g)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_chase_monotone_in_depth;
+      prop_chase_preserves_database;
+      prop_dag_forward_existential;
+    ]
+
+let tc name fn = Alcotest.test_case name `Quick fn
+
+let () =
+  Alcotest.run "chase"
+    [
+      ( "trigger",
+        [
+          tc "enumeration" test_triggers_enumeration;
+          tc "fresh output" test_trigger_output_fresh;
+          tc "key identity" test_trigger_key_identity;
+          tc "frontier image" test_trigger_frontier_image;
+        ] );
+      ( "chase",
+        [
+          tc "example 1" test_chase_example1;
+          tc "example 1 bdd loops" test_chase_example1_bdd_loop;
+          tc "datalog saturates" test_chase_datalog_saturates;
+          tc "levels monotone" test_chase_levels_monotone;
+          tc "level access" test_chase_level_access;
+          tc "timestamps" test_chase_timestamps;
+          tc "provenance" test_chase_provenance;
+          tc "oblivious refire" test_chase_oblivious_refire;
+          tc "max atoms" test_chase_max_atoms;
+          tc "from top" test_chase_from_top;
+          tc "empty rules" test_chase_empty_rules;
+          tc "timestamp multiset" test_timestamp_multiset;
+          tc "e-graph" test_e_graph;
+        ] );
+      ( "semantics",
+        [
+          tc "entails queries" test_chase_entails_its_queries;
+          tc "dag for fwd-existential" test_chase_dag_for_forward_existential;
+          tc "first loop level" test_holds_at_first_level;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,469 @@
+open Nca_logic
+module Chase = Nca_chase.Chase
+module Encode = Nca_surgery.Encode
+module Reify = Nca_surgery.Reify
+module Streamline = Nca_surgery.Streamline
+module Body_rewrite = Nca_surgery.Body_rewrite
+module Properties = Nca_surgery.Properties
+module Pipeline = Nca_surgery.Pipeline
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let e2 = Symbol.make "E" 2
+
+(* ------------------------------------------------------------------ *)
+(* Instance encoding (Section 4.1) *)
+
+let test_freeze_shape () =
+  let i = Parser.instance "E(a,b), P(a)" in
+  let r = Encode.freeze i in
+  check "body is ⊤" true (Rule.body r = [ Atom.top ]);
+  check_int "head has all facts" 2 (List.length (Rule.head r));
+  check "all head terms are fresh variables" true
+    (Term.Set.for_all Term.is_var (Atom.vars_of_list (Rule.head r)))
+
+let test_freeze_identifies_shared_terms () =
+  let i = Parser.instance "E(a,b), E(b,c)" in
+  let r = Encode.freeze i in
+  (* a,b,c become 3 variables, with b shared between the two atoms *)
+  check_int "three variables" 3
+    (Term.Set.cardinal (Atom.vars_of_list (Rule.head r)))
+
+let test_freeze_empty_instance () =
+  let r = Encode.freeze Instance.top in
+  check "⊤ → ⊤" true (Rule.head r = [ Atom.top ])
+
+let test_corollary15 () =
+  (* Ch(J,S) ↔ Ch({⊤}, S ∪ {⊤→J}) *)
+  List.iter
+    (fun name ->
+      let entry = Nca_core.Rulesets.find name in
+      let direct = Chase.run ~max_depth:4 entry.instance entry.rules in
+      let encoded =
+        Chase.run ~max_depth:5 Instance.top
+          (Encode.encode entry.instance entry.rules)
+      in
+      (* one extra level absorbs the freeze step; constants must first be
+         generalized to variables, as Definition 12's renaming does *)
+      check (name ^ ": direct maps into encoded") true
+        (Hom.exists
+           (Instance.atoms (Instance.generalize direct.instance))
+           encoded.instance);
+      let encoded_near =
+        Chase.run ~max_depth:4 Instance.top
+          (Encode.encode entry.instance entry.rules)
+      in
+      let direct_far = Chase.run ~max_depth:5 entry.instance entry.rules in
+      check (name ^ ": encoded maps into direct") true
+        (Hom.exists
+           (Instance.atoms encoded_near.instance)
+           (Instance.add Atom.top direct_far.instance)))
+    [ "example1"; "example1_bdd"; "symmetric"; "dense" ]
+
+let test_observation16_encoding_preserves_bdd () =
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let encoded = Encode.encode entry.instance entry.rules in
+  let verdicts =
+    Nca_rewriting.Bdd.for_signature ~max_rounds:8 encoded
+      (Rule.signature entry.rules)
+  in
+  check "encoded set still bdd" true (Nca_rewriting.Bdd.certified verdicts)
+
+(* ------------------------------------------------------------------ *)
+(* Reification (Section 4.2) *)
+
+let test_reify_signature () =
+  let t3 = Symbol.make "T" 3 in
+  let sign = Symbol.Set.of_list [ e2; t3 ] in
+  let reified = Reify.signature sign in
+  check "binary result" true (Symbol.is_binary_signature reified);
+  check_int "E + T1,T2,T3" 4 (Symbol.Set.cardinal reified);
+  check "E kept" true (Symbol.Set.mem e2 reified)
+
+let test_reify_atom () =
+  let at = Atom.app "T" [ Term.cst "a"; Term.cst "b"; Term.cst "c" ] in
+  let reified = Reify.atom ~fresh:Term.fresh_null at in
+  check_int "three position atoms" 3 (List.length reified);
+  check "all binary" true (List.for_all Atom.is_binary reified);
+  (* all share the same atom-name term in second position *)
+  let names =
+    List.filter_map
+      (fun a -> match Atom.args a with [ _; n ] -> Some n | _ -> None)
+      reified
+  in
+  check_int "one shared name" 1
+    (Term.Set.cardinal (Term.Set.of_list names))
+
+let test_reify_binary_untouched () =
+  let at = Atom.app "E" [ Term.cst "a"; Term.cst "b" ] in
+  check "binary atoms are kept" true
+    (Reify.atom ~fresh:Term.fresh_null at = [ at ])
+
+let test_reify_rules_binary () =
+  let entry = Nca_core.Rulesets.ternary in
+  let reified = Reify.rules entry.rules in
+  check "binary signature" true (Properties.is_binary reified);
+  check "reify needed detection" true (Reify.needed entry.rules);
+  check "already-binary not needed" false
+    (Reify.needed Nca_core.Rulesets.example1.rules)
+
+let test_lemma19 () =
+  (* Ch(reify(J), reify(S)) ↔ reify(Ch(J, S)) *)
+  let entry = Nca_core.Rulesets.ternary in
+  let direct = Chase.run ~max_depth:3 entry.instance entry.rules in
+  let reified_chase =
+    Chase.run ~max_depth:3 (Reify.instance entry.instance)
+      (Reify.rules entry.rules)
+  in
+  let reify_of_chase = Reify.instance direct.instance in
+  check "reify(Ch) maps into Ch(reify)" true
+    (Hom.exists (Instance.atoms reify_of_chase) reified_chase.instance);
+  check "Ch(reify) maps into reify(Ch)" true
+    (Hom.exists (Instance.atoms reified_chase.instance) reify_of_chase)
+
+let test_lemma20_reify_preserves_bdd () =
+  let entry = Nca_core.Rulesets.ternary in
+  let reified = Reify.rules entry.rules in
+  let verdicts =
+    Nca_rewriting.Bdd.for_signature ~max_rounds:8 reified
+      (Rule.signature reified)
+  in
+  check "reified set bdd" true (Nca_rewriting.Bdd.certified verdicts)
+
+let test_reify_cq () =
+  let q =
+    Cq.make ~answer:[ Term.var "x" ]
+      [ Atom.app "T" [ Term.var "x"; Term.var "y"; Term.var "z" ] ]
+  in
+  let rq = Reify.cq q in
+  check_int "three atoms" 3 (Cq.size rq);
+  check "answers kept" true (Cq.answer rq = Cq.answer q);
+  (* the reified query holds on the reified instance iff the original held *)
+  let i = Parser.instance "T(a,b,c)" in
+  check "entailment preserved" true
+    (Cq.holds ~tuple:[ Term.cst "a" ] (Reify.instance i) rq)
+
+(* ------------------------------------------------------------------ *)
+(* Streamlining ∇ (Section 4.3) *)
+
+let test_streamline_triple () =
+  let r = Parser.rule "E(x,y) -> E(y,z)" in
+  match Streamline.of_rule r with
+  | [ init; ex; dl ] ->
+      check "init existential" false (Rule.is_datalog init);
+      check "ex existential" false (Rule.is_datalog ex);
+      check "dl datalog" true (Rule.is_datalog dl);
+      check "init head feeds ex body" true
+        (List.for_all
+           (fun a -> List.exists (Atom.equal a) (Rule.body ex))
+           (Rule.head init));
+      check "ex head feeds dl body" true
+        (List.for_all
+           (fun a -> List.exists (Atom.equal a) (Rule.body dl))
+           (Rule.head ex));
+      check "dl head is the original head" true (Rule.head dl = Rule.head r)
+  | _ -> Alcotest.fail "expected three rules"
+
+let test_streamline_keeps_datalog () =
+  let r = Parser.rule "E(x,y) -> E(y,x)" in
+  check "datalog untouched" true (Streamline.of_rule r = [ r ])
+
+let test_lemma25_syntactic () =
+  (* ∇(S) is forward-existential and predicate-unique *)
+  List.iter
+    (fun name ->
+      let entry = Nca_core.Rulesets.find name in
+      let nabla = Streamline.apply entry.rules in
+      check (name ^ " fwd-existential") true
+        (Properties.is_forward_existential nabla);
+      check (name ^ " predicate-unique") true
+        (Properties.is_predicate_unique nabla))
+    [ "example1_bdd"; "tangle"; "backward"; "dense"; "fork" ]
+
+let test_lemma24 () =
+  (* Ch(J,S) ↔ Ch(J,∇(S)) restricted to the original signature *)
+  List.iter
+    (fun name ->
+      let entry = Nca_core.Rulesets.find name in
+      let sign = Streamline.original_signature entry.rules in
+      let direct = Chase.run ~max_depth:3 entry.instance entry.rules in
+      let nabla =
+        Chase.run ~max_depth:12 entry.instance (Streamline.apply entry.rules)
+      in
+      let nabla_restr = Instance.restrict sign nabla.instance in
+      check (name ^ ": direct → ∇ chase") true
+        (Hom.exists (Instance.atoms direct.instance) nabla_restr);
+      let nabla_near =
+        Chase.run ~max_depth:6 entry.instance (Streamline.apply entry.rules)
+      in
+      let direct_far = Chase.run ~max_depth:8 entry.instance entry.rules in
+      check (name ^ ": ∇ chase → direct") true
+        (Hom.exists
+           (Instance.atoms (Instance.restrict sign nabla_near.instance))
+           direct_far.instance))
+    [ "example1_bdd"; "tangle"; "dense" ]
+
+let test_streamline_loop_survives () =
+  (* the bdd repair still loops after streamlining *)
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let nabla = Streamline.apply entry.rules in
+  let c = Chase.run ~max_depth:9 entry.instance nabla in
+  check "loop in streamlined chase" true
+    (Cq.holds c.instance (Cq.loop_query e2))
+
+let test_streamline_fresh_w_avoids_clash () =
+  let r = Parser.rule "E(w,y) -> E(y,z)" in
+  match Streamline.of_rule r with
+  | [ init; _; _ ] ->
+      (* the fresh variable must differ from the rule's own w *)
+      check "fresh w distinct" true
+        (Term.Set.cardinal (Rule.exist_vars init) = 1
+        && not (Term.Set.mem (Term.var "w") (Rule.exist_vars init)))
+  | _ -> Alcotest.fail "expected three rules"
+
+(* ------------------------------------------------------------------ *)
+(* Body rewriting rew (Section 4.4) *)
+
+let test_body_rewrite_adds_rules () =
+  let rules =
+    Parser.parse_rules
+      {| sym: E(x,y) -> E(y,x).
+         succ: E(x,y) -> E(y,z). |}
+  in
+  let result = Body_rewrite.apply rules in
+  check "complete" true result.complete;
+  check "added the flipped-body successor" true (result.added >= 1);
+  check "contains the original rules" true
+    (List.for_all
+       (fun r -> List.exists (fun r' -> Rule.equal r r') result.rules)
+       rules)
+
+let test_lemma30 () =
+  (* Ch(J,S) ↔ Ch(J,rew(S)) *)
+  List.iter
+    (fun name ->
+      let entry = Nca_core.Rulesets.find name in
+      let rew = (Body_rewrite.apply entry.rules).rules in
+      let direct = Chase.run ~max_depth:4 entry.instance entry.rules in
+      let rewc = Chase.run ~max_depth:4 entry.instance rew in
+      check (name ^ ": direct → rew") true
+        (Hom.exists (Instance.atoms direct.instance) rewc.instance);
+      let direct_far = Chase.run ~max_depth:6 entry.instance entry.rules in
+      check (name ^ ": rew → direct") true
+        (Hom.exists (Instance.atoms rewc.instance) direct_far.instance))
+    [ "example1_bdd"; "symmetric"; "dense"; "inclusion" ]
+
+let test_lemma31_preservation () =
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let nabla = Streamline.apply entry.rules in
+  let rew = (Body_rewrite.apply nabla).rules in
+  check "fwd-existential preserved" true
+    (Properties.is_forward_existential rew);
+  check "predicate-unique preserved" true (Properties.is_predicate_unique rew)
+
+let test_lemma32_quickness () =
+  (* rew(S) is quick; test empirically on samples *)
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let rew = (Body_rewrite.apply entry.rules).rules in
+  let samples = Nca_core.Rulesets.sample_instances (Rule.signature entry.rules) in
+  check "no quickness counterexample" true
+    (Properties.is_quick_on ~depth:4 rew samples)
+
+let test_quickness_falsifier_works () =
+  (* transitivity alone is visibly not quick: E(a,b),E(b,c),E(c,d) needs
+     two steps to produce E(a,d) over adom(I) *)
+  let rules = Parser.parse_rules "tc: E(x,y), E(y,z) -> E(x,z)." in
+  let samples = [ Parser.instance "E(a,b), E(b,c), E(c,d)" ] in
+  check "counterexample found" true
+    (Option.is_some (Properties.quickness_counterexample ~depth:4 rules samples))
+
+(* ------------------------------------------------------------------ *)
+(* Property checkers *)
+
+let test_forward_existential_checker () =
+  check "succ is fwd-existential" true
+    (Properties.is_forward_existential
+       (Parser.parse_rules "r: E(x,y) -> E(y,z)."));
+  check "backward is not" false
+    (Properties.is_forward_existential
+       (Parser.parse_rules "r: E(x,y) -> E(z,y)."));
+  check "frontier-to-frontier head is not" false
+    (Properties.is_forward_existential
+       (Parser.parse_rules "r: E(x,y) -> E(x,y), F(y,z)."));
+  check "datalog always ok" true
+    (Properties.is_forward_existential
+       (Parser.parse_rules "r: E(x,y) -> E(y,x)."));
+  check "unary heads unconstrained" true
+    (Properties.is_forward_existential
+       (Parser.parse_rules "r: E(x,y) -> P(z), E(y,z)."))
+
+let test_predicate_unique_checker () =
+  check "tangle is not predicate-unique" false
+    (Properties.is_predicate_unique Nca_core.Rulesets.tangle.rules);
+  check "fork is" true
+    (Properties.is_predicate_unique Nca_core.Rulesets.fork.rules);
+  check "datalog repetition allowed" true
+    (Properties.is_predicate_unique
+       (Parser.parse_rules "r: E(x,y) -> E(y,x), E(x,x)."))
+
+let test_describe () =
+  let r = Properties.describe Nca_core.Rulesets.example1_bdd.rules in
+  check "binary" true r.binary;
+  check_int "datalog" 1 r.datalog_count;
+  check_int "existential" 1 r.existential_count
+
+(* ------------------------------------------------------------------ *)
+(* The full pipeline *)
+
+let test_pipeline_produces_regal () =
+  List.iter
+    (fun name ->
+      let entry = Nca_core.Rulesets.find name in
+      let p = Pipeline.regalize entry.instance entry.rules in
+      check (name ^ " pipeline complete") true p.complete;
+      let report = Pipeline.final_report p in
+      check (name ^ " binary") true report.binary;
+      check (name ^ " fwd-existential") true report.forward_existential;
+      check (name ^ " predicate-unique") true report.predicate_unique)
+    [ "example1_bdd"; "tangle"; "dense"; "ternary"; "symmetric" ]
+
+let test_pipeline_step_count () =
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let p = Pipeline.regalize entry.instance entry.rules in
+  check_int "four steps" 4 (List.length p.steps)
+
+let test_pipeline_chase_preservation () =
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let p = Pipeline.regalize entry.instance entry.rules in
+  let checks = Pipeline.verify_chase_preservation ~depth:3 entry.instance
+      entry.rules p in
+  List.iter
+    (fun (label, ok) -> check ("chase preserved: " ^ label) true ok)
+    checks
+
+let test_pipeline_quickness () =
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let p = Pipeline.regalize entry.instance entry.rules in
+  check "final set quick on samples" true
+    (Properties.is_quick_on ~depth:3 p.final [ Instance.top ])
+
+let test_pipeline_final_is_bdd () =
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let p = Pipeline.regalize entry.instance entry.rules in
+  let verdicts =
+    Nca_rewriting.Bdd.for_signature ~max_rounds:8 p.final
+      (Symbol.Set.singleton e2)
+  in
+  check "E-rewriting still finite" true (Nca_rewriting.Bdd.certified verdicts)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let linear_rules_arb =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          Nca_core.Rulesets.random_forward_existential_rules ~seed ~rules:3)
+        (int_range 0 5000))
+
+let prop_streamline_syntactic =
+  QCheck.Test.make ~name:"∇ always fwd-existential + predicate-unique"
+    ~count:50 linear_rules_arb (fun rules ->
+      QCheck.assume (rules <> []);
+      let nabla = Streamline.apply rules in
+      Properties.is_forward_existential nabla
+      && Properties.is_predicate_unique nabla)
+
+let prop_streamline_chase_preserved =
+  QCheck.Test.make ~name:"Lemma 24 on random linear sets" ~count:15
+    linear_rules_arb (fun rules ->
+      QCheck.assume (rules <> []);
+      let i = Parser.instance "E(c0,c1), A(c0)" in
+      (* "over S": the original signature includes the instance's *)
+      let sign =
+        Symbol.Set.union (Rule.signature rules) (Instance.signature i)
+      in
+      let direct = Chase.run ~max_depth:1 i rules in
+      let nabla =
+        Chase.run ~max_depth:5 ~max_atoms:100000 i (Streamline.apply rules)
+      in
+      Hom.exists
+        (Instance.atoms direct.instance)
+        (Instance.restrict sign nabla.instance))
+
+let prop_encode_preserves =
+  QCheck.Test.make ~name:"Corollary 15 on random linear sets" ~count:15
+    linear_rules_arb (fun rules ->
+      QCheck.assume (rules <> []);
+      let i = Parser.instance "E(c0,c1), B(c1)" in
+      let direct = Chase.run ~max_depth:2 i rules in
+      let encoded =
+        Chase.run ~max_depth:3 ~max_atoms:100000 Instance.top
+          (Encode.encode i rules)
+      in
+      Hom.exists
+        (Instance.atoms (Instance.generalize direct.instance))
+        encoded.instance)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_streamline_syntactic; prop_streamline_chase_preserved;
+      prop_encode_preserves ]
+
+let tc name fn = Alcotest.test_case name `Quick fn
+
+let () =
+  Alcotest.run "surgery"
+    [
+      ( "encode",
+        [
+          tc "freeze shape" test_freeze_shape;
+          tc "shared terms" test_freeze_identifies_shared_terms;
+          tc "empty instance" test_freeze_empty_instance;
+          tc "corollary 15" test_corollary15;
+          tc "observation 16" test_observation16_encoding_preserves_bdd;
+        ] );
+      ( "reify",
+        [
+          tc "signature" test_reify_signature;
+          tc "atom" test_reify_atom;
+          tc "binary untouched" test_reify_binary_untouched;
+          tc "rules binary" test_reify_rules_binary;
+          tc "lemma 19" test_lemma19;
+          tc "lemma 20" test_lemma20_reify_preserves_bdd;
+          tc "query" test_reify_cq;
+        ] );
+      ( "streamline",
+        [
+          tc "triple" test_streamline_triple;
+          tc "datalog kept" test_streamline_keeps_datalog;
+          tc "lemma 25 syntactic" test_lemma25_syntactic;
+          tc "lemma 24" test_lemma24;
+          tc "loop survives" test_streamline_loop_survives;
+          tc "fresh w" test_streamline_fresh_w_avoids_clash;
+        ] );
+      ( "body-rewrite",
+        [
+          tc "adds rules" test_body_rewrite_adds_rules;
+          tc "lemma 30" test_lemma30;
+          tc "lemma 31" test_lemma31_preservation;
+          tc "lemma 32 quickness" test_lemma32_quickness;
+          tc "quickness falsifier" test_quickness_falsifier_works;
+        ] );
+      ( "properties",
+        [
+          tc "forward-existential" test_forward_existential_checker;
+          tc "predicate-unique" test_predicate_unique_checker;
+          tc "describe" test_describe;
+        ] );
+      ( "pipeline",
+        [
+          tc "produces regal sets" test_pipeline_produces_regal;
+          tc "step count" test_pipeline_step_count;
+          tc "chase preservation" test_pipeline_chase_preservation;
+          tc "quickness" test_pipeline_quickness;
+          tc "final bdd" test_pipeline_final_is_bdd;
+        ] );
+      ("qcheck", props);
+    ]
