@@ -4,6 +4,7 @@
      chase       run the oblivious chase on a program file
      rewrite     UCQ-rewrite a query against the file's rules
      properties  syntactic + bdd report for a rule set
+     lint        static analysis with typed NCA0xx diagnostics
      surgery     run the Section-4 regalization pipeline
      analyze     full Section-5 valley/witness analysis
      tournament  Theorem-1 verdict (tournament vs loop)
@@ -22,19 +23,35 @@ module Rulesets = Nca_core.Rulesets
 module Theorem1 = Nca_core.Theorem1
 module Witness = Nca_core.Witness
 module Valley = Nca_core.Valley
+module Lint = Nca_analysis.Lint
+module Diagnostic = Nca_analysis.Diagnostic
+module Json = Nca_analysis.Json
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+  | exception Sys_error reason ->
+      Fmt.epr "%s@." reason;
+      exit 2
+
+let zoo_program path =
+  Rulesets.zoo
+  |> List.find_opt (fun e -> e.Rulesets.name = path)
+  |> Option.map (fun (entry : Rulesets.entry) ->
+         Parser.
+           { facts = entry.instance; rules = entry.rules; queries = [] })
 
 let load path =
-  match Rulesets.zoo |> List.find_opt (fun e -> e.Rulesets.name = path) with
-  | Some entry ->
-      Parser.
-        { facts = entry.instance; rules = entry.rules; queries = [] }
-  | None -> Parser.parse_program (read_file path)
+  match zoo_program path with
+  | Some program -> program
+  | None -> (
+      try Parser.parse_program (read_file path)
+      with Parser.Error { position; message } ->
+        Fmt.epr "%s: %s@." path (Parser.error_message position message);
+        exit 1)
 
 (* common args *)
 
@@ -169,12 +186,98 @@ let properties_cmd =
        ~doc:"Report syntactic properties and bdd verdicts per atomic query.")
     Cterm.(const run $ file_arg $ rounds_arg)
 
+(* lint *)
+
+let lint_cmd =
+  let run file json select max_warnings list_passes =
+    if list_passes then begin
+      List.iter
+        (fun (p : Nca_analysis.Passes.t) ->
+          Fmt.pr "%s  %-20s %s@." p.code p.slug p.doc)
+        Nca_analysis.Passes.registry;
+      0
+    end
+    else begin
+      let file =
+        match file with
+        | Some f -> f
+        | None ->
+            Fmt.epr "required argument FILE is missing (or use --list)@.";
+            exit 2
+      in
+      let select =
+        Option.map (List.map String.uppercase_ascii) select
+      in
+      (match select with
+      | Some codes ->
+          List.iter
+            (fun c ->
+              if c <> "NCA001" && Nca_analysis.Passes.find c = None then begin
+                Fmt.epr "unknown diagnostic code %s (try --list)@." c;
+                exit 2
+              end)
+            codes
+      | None -> ());
+      let diagnostics =
+        match zoo_program file with
+        | Some program -> Lint.run ?select program
+        | None -> Lint.lint_source ?select (read_file file)
+      in
+      if json then Fmt.pr "%a@." Json.pp (Lint.report_to_json diagnostics)
+      else Fmt.pr "%a" Lint.pp_report diagnostics;
+      Lint.exit_status ?max_warnings diagnostics
+    end
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+  in
+  let select_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "select" ] ~docv:"CODES"
+          ~doc:"Comma-separated diagnostic codes to run (e.g. \
+                NCA007,NCA011). Default: all passes.")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-warnings" ] ~docv:"N"
+          ~doc:"Fail (exit 1) when more than $(docv) warnings are emitted.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the available passes and exit.")
+  in
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Program file (facts, rules, queries), or the name of a \
+             built-in rule set (see $(b,zoo)). Optional with $(b,--list).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes over the program and report typed \
+          NCA0xx diagnostics. Exits non-zero on an error-severity \
+          diagnostic, or on more than --max-warnings warnings.")
+    Cterm.(
+      const run $ opt_file_arg $ json_arg $ select_arg $ max_warnings_arg
+      $ list_arg)
+
 (* surgery *)
 
 let surgery_cmd =
-  let run file verify print_rules =
+  let run file verify print_rules max_rounds =
     let prog = load file in
-    let p = Pipeline.regalize prog.facts prog.rules in
+    let p = Pipeline.regalize ?max_rounds prog.facts prog.rules in
     List.iter
       (fun (s : Pipeline.step) ->
         Fmt.pr "step %-12s rules=%-3d %s@." s.label (List.length s.rules)
@@ -182,6 +285,11 @@ let surgery_cmd =
       p.steps;
     Fmt.pr "complete=%b final: %a@." p.complete Properties.pp_report
       (Pipeline.final_report p);
+    (match Lint.of_pipeline p with
+    | [] -> ()
+    | ds ->
+        Fmt.pr "stage invariants VIOLATED:@.";
+        List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds);
     if print_rules then Fmt.pr "%a@." Rule.pp_set p.final;
     if verify then
       List.iter
@@ -199,10 +307,19 @@ let surgery_cmd =
   let print_arg =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the final rule set.")
   in
+  let rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:
+            "Budget for the body-rewriting fixpoint (default 12). An \
+             exhausted budget is reported as a violated stage invariant.")
+  in
   Cmd.v
     (Cmd.info "surgery"
        ~doc:"Run the Section-4 regalization pipeline on the rule set.")
-    Cterm.(const run $ file_arg $ verify_arg $ print_arg)
+    Cterm.(const run $ file_arg $ verify_arg $ print_arg $ rounds_arg)
 
 (* analyze *)
 
@@ -387,6 +504,20 @@ let zoo_cmd =
 let () =
   let doc = "the No-Cliques-Allowed toolkit for existential rules" in
   let info = Cmd.info "nocliques" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info
-    [ chase_cmd; rewrite_cmd; properties_cmd; surgery_cmd; analyze_cmd;
-      tournament_cmd; classes_cmd; finite_cmd; dot_cmd; zoo_cmd ]))
+  let status =
+    try
+      Cmd.eval' (Cmd.group info
+        [ chase_cmd; rewrite_cmd; properties_cmd; lint_cmd; surgery_cmd;
+          analyze_cmd; tournament_cmd; classes_cmd; finite_cmd; dot_cmd;
+          zoo_cmd ])
+    with
+    | Pipeline.Stage_error { stage; reason } ->
+        Fmt.epr "surgery stage %s failed: %s@." stage reason;
+        1
+    | Nca_chase.Datalog.Budget { resource; limit } ->
+        Fmt.epr "datalog saturation exhausted its %s budget (%d)@."
+          (match resource with `Rounds -> "rounds" | `Atoms -> "atoms")
+          limit;
+        1
+  in
+  exit status

@@ -1,0 +1,137 @@
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let pp_severity ppf s = Fmt.string ppf (severity_to_string s)
+
+type location =
+  | Program
+  | Rule_site of { name : string; index : int }
+  | Predicate of { name : string; arity : int }
+  | Span of { line : int; column : int }
+
+let pp_location ppf = function
+  | Program -> Fmt.string ppf "program"
+  | Rule_site { name; index } -> Fmt.pf ppf "rule %s (#%d)" name index
+  | Predicate { name; arity } -> Fmt.pf ppf "predicate %s/%d" name arity
+  | Span { line; column } -> Fmt.pf ppf "line %d, column %d" line column
+
+let location_rank = function
+  | Program -> (0, 0, "")
+  | Span { line; column } -> (1, line, string_of_int column)
+  | Rule_site { index; name } -> (2, index, name)
+  | Predicate { name; arity } -> (3, arity, name)
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location;
+  message : string;
+  certificate : string option;
+  hint : string option;
+}
+
+let make ?certificate ?hint ~code ~severity ~location message =
+  { code; severity; location; message; certificate; hint }
+
+let compare a b =
+  let key d =
+    (severity_rank d.severity, d.code, location_rank d.location, d.message)
+  in
+  Stdlib.compare (key a) (key b)
+
+let pp ppf d =
+  Fmt.pf ppf "@[<v>%s %a  %a: %s" d.code pp_severity d.severity pp_location
+    d.location d.message;
+  Option.iter (fun c -> Fmt.pf ppf "@,  ↳ certificate: %s" c) d.certificate;
+  Option.iter (fun h -> Fmt.pf ppf "@,  ↳ hint: %s" h) d.hint;
+  Fmt.pf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let location_to_json = function
+  | Program -> Json.Obj [ ("kind", Json.String "program") ]
+  | Rule_site { name; index } ->
+      Json.Obj
+        [
+          ("kind", Json.String "rule");
+          ("name", Json.String name);
+          ("index", Json.Int index);
+        ]
+  | Predicate { name; arity } ->
+      Json.Obj
+        [
+          ("kind", Json.String "predicate");
+          ("name", Json.String name);
+          ("arity", Json.Int arity);
+        ]
+  | Span { line; column } ->
+      Json.Obj
+        [
+          ("kind", Json.String "span");
+          ("line", Json.Int line);
+          ("column", Json.Int column);
+        ]
+
+let to_json d =
+  let optional key v rest =
+    match v with Some s -> (key, Json.String s) :: rest | None -> rest
+  in
+  Json.Obj
+    (( ("code", Json.String d.code)
+     :: ("severity", Json.String (severity_to_string d.severity))
+     :: ("location", location_to_json d.location)
+     :: ("message", Json.String d.message)
+     :: optional "certificate" d.certificate
+          (optional "hint" d.hint []) ))
+
+let location_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  match str "kind" with
+  | Some "program" -> Some Program
+  | Some "rule" -> (
+      match (str "name", int "index") with
+      | Some name, Some index -> Some (Rule_site { name; index })
+      | _ -> None)
+  | Some "predicate" -> (
+      match (str "name", int "arity") with
+      | Some name, Some arity -> Some (Predicate { name; arity })
+      | _ -> None)
+  | Some "span" -> (
+      match (int "line", int "column") with
+      | Some line, Some column -> Some (Span { line; column })
+      | _ -> None)
+  | _ -> None
+
+let of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  match
+    ( str "code",
+      Option.bind (str "severity") severity_of_string,
+      Option.bind (Json.member "location" j) location_of_json,
+      str "message" )
+  with
+  | Some code, Some severity, Some location, Some message ->
+      Some
+        {
+          code;
+          severity;
+          location;
+          message;
+          certificate = str "certificate";
+          hint = str "hint";
+        }
+  | _ -> None

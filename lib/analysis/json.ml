@@ -1,0 +1,264 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+let pp ppf v =
+  (* conventional 2-spaces-per-level indentation, stable across runs *)
+  let pad n = String.make (2 * n) ' ' in
+  let rec go depth = function
+    | (Null | Bool _ | Int _ | String _) as v -> Fmt.string ppf (to_string v)
+    | List [] -> Fmt.string ppf "[]"
+    | List vs ->
+        Fmt.string ppf "[\n";
+        List.iteri
+          (fun i v ->
+            if i > 0 then Fmt.string ppf ",\n";
+            Fmt.string ppf (pad (depth + 1));
+            go (depth + 1) v)
+          vs;
+        Fmt.pf ppf "\n%s]" (pad depth)
+    | Obj [] -> Fmt.string ppf "{}"
+    | Obj fields ->
+        Fmt.string ppf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Fmt.string ppf ",\n";
+            Fmt.pf ppf "%s%s: " (pad (depth + 1)) (to_string (String k));
+            go (depth + 1) v)
+          fields;
+        Fmt.pf ppf "\n%s}" (pad depth)
+  in
+  go 0 v
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+exception Parse of string
+
+type cursor = { src : string; mutable at : int }
+
+let fail cu msg = raise (Parse (Printf.sprintf "offset %d: %s" cu.at msg))
+let peek cu = if cu.at < String.length cu.src then Some cu.src.[cu.at] else None
+
+let rec skip cu =
+  match peek cu with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      cu.at <- cu.at + 1;
+      skip cu
+  | _ -> ()
+
+let eat cu c =
+  match peek cu with
+  | Some d when d = c -> cu.at <- cu.at + 1
+  | _ -> fail cu (Printf.sprintf "expected %C" c)
+
+let literal cu word value =
+  let n = String.length word in
+  if
+    cu.at + n <= String.length cu.src
+    && String.sub cu.src cu.at n = word
+  then begin
+    cu.at <- cu.at + n;
+    value
+  end
+  else fail cu (Printf.sprintf "expected %s" word)
+
+let utf8_of_code buf u =
+  (* BMP codepoints only — sufficient for \uXXXX escapes we emit *)
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string cu =
+  eat cu '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cu with
+    | None -> fail cu "unterminated string"
+    | Some '"' -> cu.at <- cu.at + 1
+    | Some '\\' ->
+        cu.at <- cu.at + 1;
+        (match peek cu with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'u' ->
+            if cu.at + 4 >= String.length cu.src then
+              fail cu "truncated \\u escape";
+            let hex = String.sub cu.src (cu.at + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some u -> utf8_of_code buf u
+            | None -> fail cu "invalid \\u escape");
+            cu.at <- cu.at + 4
+        | _ -> fail cu "invalid escape");
+        cu.at <- cu.at + 1;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        cu.at <- cu.at + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_int cu =
+  let start = cu.at in
+  if peek cu = Some '-' then cu.at <- cu.at + 1;
+  while
+    match peek cu with Some ('0' .. '9') -> true | _ -> false
+  do
+    cu.at <- cu.at + 1
+  done;
+  (match peek cu with
+  | Some ('.' | 'e' | 'E') -> fail cu "floats are not supported"
+  | _ -> ());
+  match int_of_string_opt (String.sub cu.src start (cu.at - start)) with
+  | Some n -> n
+  | None -> fail cu "expected a number"
+
+let rec parse_value cu =
+  skip cu;
+  match peek cu with
+  | None -> fail cu "unexpected end of input"
+  | Some '"' -> String (parse_string cu)
+  | Some 'n' -> literal cu "null" Null
+  | Some 't' -> literal cu "true" (Bool true)
+  | Some 'f' -> literal cu "false" (Bool false)
+  | Some '[' ->
+      cu.at <- cu.at + 1;
+      skip cu;
+      if peek cu = Some ']' then begin
+        cu.at <- cu.at + 1;
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value cu in
+          skip cu;
+          match peek cu with
+          | Some ',' ->
+              cu.at <- cu.at + 1;
+              elems (v :: acc)
+          | Some ']' ->
+              cu.at <- cu.at + 1;
+              List.rev (v :: acc)
+          | _ -> fail cu "expected ',' or ']'"
+        in
+        List (elems [])
+      end
+  | Some '{' ->
+      cu.at <- cu.at + 1;
+      skip cu;
+      if peek cu = Some '}' then begin
+        cu.at <- cu.at + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip cu;
+          let k = parse_string cu in
+          skip cu;
+          eat cu ':';
+          (k, parse_value cu)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip cu;
+          match peek cu with
+          | Some ',' ->
+              cu.at <- cu.at + 1;
+              fields (f :: acc)
+          | Some '}' ->
+              cu.at <- cu.at + 1;
+              List.rev (f :: acc)
+          | _ -> fail cu "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some _ -> Int (parse_int cu)
+
+let parse s =
+  let cu = { src = s; at = 0 } in
+  match parse_value cu with
+  | v ->
+      skip cu;
+      if cu.at <> String.length s then Error "trailing input"
+      else Ok v
+  | exception Parse msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int n -> Some n | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List vs -> Some vs | _ -> None

@@ -1,0 +1,32 @@
+(** A minimal JSON document type with printer and parser.
+
+    The lint engine's machine-readable output must not pull in an external
+    dependency, so this module implements the small JSON subset the
+    diagnostics need: null, booleans, (exact) integers, strings, arrays
+    and objects. Strings are UTF-8 and escaped per RFC 8259; the parser
+    accepts everything {!to_string} emits, which is what the round-trip
+    golden tests rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering. *)
+
+val pp : t Fmt.t
+(** Indented rendering (2-space), stable across runs — the golden-test
+    format. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!to_string} / {!pp}. Floats are rejected ([Error]):
+    diagnostics only carry integers. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,109 @@
+open Nca_logic
+module D = Diagnostic
+
+type summary = { errors : int; warnings : int; infos : int }
+
+let summarize ds =
+  List.fold_left
+    (fun s (d : D.t) ->
+      match d.severity with
+      | D.Error -> { s with errors = s.errors + 1 }
+      | D.Warning -> { s with warnings = s.warnings + 1 }
+      | D.Info -> { s with infos = s.infos + 1 })
+    { errors = 0; warnings = 0; infos = 0 }
+    ds
+
+let selected_passes select =
+  match select with
+  | None -> Passes.registry
+  | Some codes ->
+      List.filter
+        (fun (p : Passes.t) -> List.mem p.code codes)
+        Passes.registry
+
+let run ?select program =
+  let ds =
+    List.concat_map
+      (fun (p : Passes.t) -> p.run program)
+      (selected_passes select)
+  in
+  List.sort D.compare ds
+
+let wanted select code =
+  match select with None -> true | Some codes -> List.mem code codes
+
+let parse_error_diagnostic position message =
+  let location =
+    if position = Parser.whole_input then D.Program
+    else D.Span { line = position.Parser.line; column = position.Parser.column }
+  in
+  D.make ~code:"NCA001" ~severity:D.Error ~location
+    ~hint:"the grammar is documented in Parser's interface"
+    (Fmt.str "parse error: %s" message)
+
+let lint_source ?select source =
+  match Parser.parse_program source with
+  | program -> run ?select program
+  | exception Parser.Error { position; message } ->
+      if wanted select "NCA001" then [ parse_error_diagnostic position message ]
+      else []
+
+(* Failed pipeline stage invariants, as diagnostics: the surgery claims to
+   establish regality (Def. 27); when a stage's post-condition does not
+   hold we report it instead of silently continuing. A blown rewriting
+   budget is a Warning (the result is still sound); any other violated
+   invariant is a bug in the surgery or its input and is an Error. *)
+let of_pipeline (p : Nca_surgery.Pipeline.t) =
+  List.map
+    (fun (stage, (c : Nca_surgery.Pipeline.check)) ->
+      let severity =
+        if c.property = "rewriting-complete" then D.Warning else D.Error
+      in
+      D.make ~code:"NCA013" ~severity ~location:D.Program
+        ~certificate:(Fmt.str "stage %s, property %s" stage c.property)
+        ~hint:"raise --rounds / disjunct budgets, or report a surgery bug"
+        (Fmt.str "surgery stage %s violated its invariant %s: %s" stage
+           c.property c.detail))
+    (Nca_surgery.Pipeline.failed_checks p)
+  |> List.sort D.compare
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d error%s, %d warning%s, %d info%s" s.errors
+    (if s.errors = 1 then "" else "s")
+    s.warnings
+    (if s.warnings = 1 then "" else "s")
+    s.infos
+    (if s.infos = 1 then "" else "s")
+
+let pp_report ppf ds =
+  List.iter (fun d -> Fmt.pf ppf "%a@." D.pp d) ds;
+  Fmt.pf ppf "%a@." pp_summary (summarize ds)
+
+let report_to_json ds =
+  let s = summarize ds in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("diagnostics", Json.List (List.map D.to_json ds));
+      ( "summary",
+        Json.Obj
+          [
+            ("errors", Json.Int s.errors);
+            ("warnings", Json.Int s.warnings);
+            ("infos", Json.Int s.infos);
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* exit policy *)
+
+let exit_status ?max_warnings ds =
+  let s = summarize ds in
+  if s.errors > 0 then 1
+  else
+    match max_warnings with
+    | Some n when s.warnings > n -> 1
+    | _ -> 0

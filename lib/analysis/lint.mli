@@ -1,0 +1,40 @@
+(** The lint engine: run the pass registry over a program, render the
+    findings, and decide a CI exit status.
+
+    Drives the [nocliques lint] command. Severities gate the exit status:
+    errors always fail, warnings only fail past [--max-warnings], infos
+    never fail. *)
+
+open Nca_logic
+
+type summary = { errors : int; warnings : int; infos : int }
+
+val summarize : Diagnostic.t list -> summary
+
+val run : ?select:string list -> Parser.program -> Diagnostic.t list
+(** Run every registry pass (or only those whose code appears in
+    [select]) and return the findings sorted by severity, code and
+    location. *)
+
+val lint_source : ?select:string list -> string -> Diagnostic.t list
+(** Parse and lint program text. A parse failure yields the single
+    [NCA001] diagnostic carrying the error's source span rather than an
+    exception. *)
+
+val of_pipeline : Nca_surgery.Pipeline.t -> Diagnostic.t list
+(** [NCA013] diagnostics for every failed stage invariant of a
+    regalization pipeline — the surgery integration of the lint engine.
+    An exhausted rewriting budget is a [Warning]; any other violated
+    post-condition is an [Error]. *)
+
+val pp_summary : summary Fmt.t
+val pp_report : Diagnostic.t list Fmt.t
+(** Diagnostics one per line (with certificate/hint continuation lines),
+    then the summary. *)
+
+val report_to_json : Diagnostic.t list -> Json.t
+(** [{version; diagnostics; summary}] — the [--json] document. *)
+
+val exit_status : ?max_warnings:int -> Diagnostic.t list -> int
+(** [0] when clean, [1] when an error was reported or the warning count
+    exceeds [max_warnings]. *)

@@ -1,6 +1,7 @@
 open Nca_logic
 
 exception Not_datalog of Rule.t
+exception Budget of { resource : [ `Rounds | `Atoms ]; limit : int }
 
 let check_datalog rules =
   List.iter
@@ -35,9 +36,10 @@ let saturate_steps ?(max_rounds = 10000) ?(max_atoms = 1_000_000) start rules
   check_datalog rules;
   let rec go total delta round =
     if Instance.is_empty delta then (total, round)
-    else if round > max_rounds then failwith "Datalog.saturate: rounds budget"
+    else if round > max_rounds then
+      raise (Budget { resource = `Rounds; limit = max_rounds })
     else if Instance.cardinal total > max_atoms then
-      failwith "Datalog.saturate: atoms budget"
+      raise (Budget { resource = `Atoms; limit = max_atoms })
     else begin
       let fresh = ref Instance.empty in
       List.iter

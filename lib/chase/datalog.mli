@@ -12,10 +12,14 @@ open Nca_logic
 
 exception Not_datalog of Rule.t
 
+exception Budget of { resource : [ `Rounds | `Atoms ]; limit : int }
+(** A saturation budget was exhausted — typed so callers (the lint CLI in
+    particular) can render it as a diagnostic instead of crashing. *)
+
 val saturate : ?max_rounds:int -> ?max_atoms:int -> Instance.t -> Rule.t list -> Instance.t
 (** Least fixpoint of the Datalog rules over the instance. Raises
     {!Not_datalog} on a rule with existential variables; budget overruns
-    raise [Failure] (Datalog closures are finite, so the default budgets
+    raise {!Budget} (Datalog closures are finite, so the default budgets
     are generous: 10000 rounds, 1_000_000 atoms). *)
 
 val rounds_to_fixpoint : Instance.t -> Rule.t list -> int

@@ -1,4 +1,14 @@
-exception Error of string
+type position = { line : int; column : int }
+
+let whole_input = { line = 0; column = 0 }
+
+let pp_position ppf p =
+  if p.line = 0 then Fmt.pf ppf "input"
+  else Fmt.pf ppf "line %d, column %d" p.line p.column
+
+exception Error of { position : position; message : string }
+
+let error_message position message = Fmt.str "%a: %s" pp_position position message
 
 type token =
   | Ident of string
@@ -15,10 +25,14 @@ type lexer = {
   input : string;
   mutable pos : int;
   mutable line : int;
+  mutable bol : int;  (* offset of the start of the current line *)
   mutable tok : token;
+  mutable tok_pos : position;  (* where the current token starts *)
 }
 
-let error lx msg = raise (Error (Fmt.str "line %d: %s" lx.line msg))
+let scan_position lx = { line = lx.line; column = lx.pos - lx.bol + 1 }
+let error_at position message = raise (Error { position; message })
+let error lx msg = error_at lx.tok_pos msg
 
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -36,6 +50,7 @@ let rec skip_ws lx =
     | '\n' ->
         lx.pos <- lx.pos + 1;
         lx.line <- lx.line + 1;
+        lx.bol <- lx.pos;
         skip_ws lx
     | '#' ->
         skip_line lx;
@@ -56,6 +71,7 @@ and skip_line lx =
 
 let lex_token lx =
   skip_ws lx;
+  lx.tok_pos <- scan_position lx;
   if lx.pos >= String.length lx.input then Eof
   else
     let c = lx.input.[lx.pos] in
@@ -91,7 +107,10 @@ let lex_token lx =
 let advance lx = lx.tok <- lex_token lx
 
 let make_lexer input =
-  let lx = { input; pos = 0; line = 1; tok = Eof } in
+  let lx =
+    { input; pos = 0; line = 1; bol = 0; tok = Eof;
+      tok_pos = { line = 1; column = 1 } }
+  in
   advance lx;
   lx
 
@@ -101,7 +120,7 @@ let expect lx tok what =
 (* Arity bookkeeping: a predicate's arity is fixed by its first use. *)
 type env = { mutable arities : int Symbol.Map.t }
 
-let symbol lx env name arity =
+let symbol ~at env name arity =
   let candidate = Symbol.make name arity in
   match
     Symbol.Map.fold
@@ -111,7 +130,8 @@ let symbol lx env name arity =
   with
   | Some (p, a) when a = arity -> p
   | Some (_, a) ->
-      error lx (Fmt.str "predicate %s used with arities %d and %d" name a arity)
+      error_at at
+        (Fmt.str "predicate %s used with arities %d and %d" name a arity)
   | None ->
       env.arities <- Symbol.Map.add candidate arity env.arities;
       candidate
@@ -140,14 +160,15 @@ let parse_term_list lx ~const =
 let parse_atom lx env ~const =
   match lx.tok with
   | Ident name when is_pred_name name ->
+      let at = lx.tok_pos in
       advance lx;
       if lx.tok = Lparen then begin
         advance lx;
         let args = parse_term_list lx ~const in
         expect lx Rparen "')'";
-        Atom.make (symbol lx env name (List.length args)) args
+        Atom.make (symbol ~at env name (List.length args)) args
       end
-      else Atom.make (symbol lx env name 0) []
+      else Atom.make (symbol ~at env name 0) []
   | _ -> error lx "expected an atom"
 
 let parse_atom_list lx env ~const =
@@ -207,7 +228,7 @@ let parse_statement lx env =
   | Ident _ ->
       (* Could be facts or an unnamed rule; parse atoms as variables first
          and reinterpret as constants if a '.' follows directly. *)
-      let start = (lx.pos, lx.line, lx.tok) in
+      let start = (lx.pos, lx.line, lx.bol, lx.tok, lx.tok_pos) in
       let atoms = parse_atom_list lx env ~const:false in
       if lx.tok = Arrow then begin
         advance lx;
@@ -217,10 +238,12 @@ let parse_statement lx env =
       end
       else begin
         (* facts: re-lex from the saved position with constants *)
-        let pos, line, tok = start in
+        let pos, line, bol, tok, tok_pos = start in
         lx.pos <- pos;
         lx.line <- line;
+        lx.bol <- bol;
         lx.tok <- tok;
+        lx.tok_pos <- tok_pos;
         let atoms = parse_atom_list lx env ~const:true in
         expect lx Dot "'.'";
         `Facts atoms
@@ -252,12 +275,16 @@ let parse_instance input = (parse_program input).facts
 let parse_query input =
   match (parse_program input).queries with
   | [ q ] -> q
-  | qs -> raise (Error (Fmt.str "expected one query, got %d" (List.length qs)))
+  | qs ->
+      error_at whole_input
+        (Fmt.str "expected one query, got %d" (List.length qs))
 
 let parse_rule input =
   match parse_rules input with
   | [ r ] -> r
-  | rs -> raise (Error (Fmt.str "expected one rule, got %d" (List.length rs)))
+  | rs ->
+      error_at whole_input
+        (Fmt.str "expected one rule, got %d" (List.length rs))
 
 let rule input =
   let input = String.trim input in

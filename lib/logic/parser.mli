@@ -23,9 +23,21 @@ type program = {
   queries : Cq.t list;
 }
 
-exception Error of string
-(** Raised on lexical, syntactic or arity errors, with a message that
-    includes the line number. *)
+type position = { line : int; column : int }
+(** 1-based source position. The sentinel {!whole_input} (line 0) marks
+    errors about the input as a whole rather than a specific span. *)
+
+val whole_input : position
+
+val pp_position : position Fmt.t
+(** Prints ["line L, column C"], or ["input"] for {!whole_input}. *)
+
+exception Error of { position : position; message : string }
+(** Raised on lexical, syntactic or arity errors. [position] is the start
+    of the offending token, so downstream diagnostics can carry spans. *)
+
+val error_message : position -> string -> string
+(** ["line L, column C: message"] — the rendering used by the CLI. *)
 
 val parse_program : string -> program
 val parse_rules : string -> Rule.t list

@@ -1,9 +1,14 @@
 open Nca_logic
 
+exception Stage_error of { stage : string; reason : string }
+
+type check = { property : string; ok : bool; detail : string }
+
 type step = {
   label : string;
   rules : Rule.t list;
   note : string;
+  checks : check list;
 }
 
 type t = {
@@ -12,16 +17,99 @@ type t = {
   complete : bool;
 }
 
+let guard stage f =
+  try f ()
+  with Invalid_argument reason -> raise (Stage_error { stage; reason })
+
+(* Each stage asserts the properties it is supposed to establish
+   (Defs. 12/21/22/27); a violated post-condition becomes a failed check
+   that the lint engine renders as a diagnostic, not a silent mismatch. *)
+
+let check_encode i encoded =
+  let freeze_rules =
+    List.filter (fun r -> Rule.body r = [ Atom.top ]) encoded
+  in
+  let covered =
+    match freeze_rules with
+    | [ f ] ->
+        Hom.exists
+          (Instance.atoms (Instance.generalize i))
+          (Instance.of_list (Rule.head f))
+    | _ -> false
+  in
+  [
+    {
+      property = "instance-encoded";
+      ok = covered;
+      detail =
+        (if covered then "⊤ → I covers the input instance (Def. 12)"
+         else "no single ⊤ → I rule covering the input instance");
+    };
+  ]
+
+let check_binary stage rules =
+  let offenders =
+    Symbol.Set.filter (fun p -> Symbol.arity p > 2) (Rule.signature rules)
+  in
+  [
+    {
+      property = "binary-signature";
+      ok = Symbol.Set.is_empty offenders;
+      detail =
+        (if Symbol.Set.is_empty offenders then
+           Fmt.str "all predicates of %s have arity ≤ 2" stage
+         else
+           Fmt.str "arity > 2 after %s: %a" stage
+             Fmt.(list ~sep:comma Symbol.pp)
+             (Symbol.Set.elements offenders));
+    };
+  ]
+
+let check_streamline rules =
+  let fwd = Properties.is_forward_existential rules in
+  let uniq = Properties.is_predicate_unique rules in
+  [
+    {
+      property = "forward-existential";
+      ok = fwd;
+      detail =
+        (if fwd then "every head atom is frontier-to-existential (Def. 21)"
+         else "a streamlined head atom is not frontier-to-existential");
+    };
+    {
+      property = "predicate-unique";
+      ok = uniq;
+      detail =
+        (if uniq then "no repeated head predicate (Def. 22)"
+         else "a streamlined existential rule repeats a head predicate");
+    };
+  ]
+
+let check_rew (rw : Body_rewrite.result) =
+  [
+    {
+      property = "rewriting-complete";
+      ok = rw.complete;
+      detail =
+        (if rw.complete then "every body rewriting reached its fixpoint"
+         else "a body rewriting exhausted its budget — rew(S) is partial");
+    };
+  ]
+
 let regalize ?max_rounds ?max_disjuncts i rules =
-  let encoded = Encode.encode i rules in
+  let encoded = guard "encode" (fun () -> Encode.encode i rules) in
   let step1 =
     {
       label = "encode";
       rules = encoded;
       note = "instance folded into ⊤ → I (Def. 12)";
+      checks = check_encode i encoded;
     }
   in
-  let reified = if Reify.needed encoded then Reify.rules encoded else encoded in
+  let reified =
+    guard "reify" (fun () ->
+        if Reify.needed encoded then Reify.rules encoded else encoded)
+  in
   let step2 =
     {
       label = "reify";
@@ -29,22 +117,31 @@ let regalize ?max_rounds ?max_disjuncts i rules =
       note =
         (if Reify.needed encoded then "higher-arity predicates reified (4.2)"
          else "already binary — identity");
+      checks = check_binary "reify" reified;
     }
   in
-  let streamlined = Streamline.apply reified in
+  let streamlined = guard "streamline" (fun () -> Streamline.apply reified) in
   let step3 =
     {
       label = "streamline";
       rules = streamlined;
       note = "heads split into ρ_init/ρ_∃/ρ_DL (4.3)";
+      checks = check_streamline streamlined;
     }
   in
-  let rw = Body_rewrite.apply ?max_rounds ?max_disjuncts streamlined in
+  let rw =
+    guard "body-rewrite" (fun () ->
+        Body_rewrite.apply ?max_rounds ?max_disjuncts streamlined)
+  in
   let step4 =
     {
       label = "body-rewrite";
       rules = rw.rules;
       note = Fmt.str "rew(S): %d rules added (4.4)" rw.added;
+      checks =
+        check_rew rw
+        @ check_binary "body-rewrite" rw.rules
+        @ check_streamline rw.rules;
     }
   in
   {
@@ -52,6 +149,14 @@ let regalize ?max_rounds ?max_disjuncts i rules =
     final = rw.rules;
     complete = rw.complete;
   }
+
+let failed_checks t =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun c -> if c.ok then None else Some (s.label, c))
+        s.checks)
+    t.steps
 
 let restrict_binary sign inst =
   let binary_part =

@@ -10,10 +10,21 @@
 
 open Nca_logic
 
+exception Stage_error of { stage : string; reason : string }
+(** A surgery stage could not build its rules (e.g. a malformed rule was
+    produced). Typed so front ends can render it as a diagnostic instead
+    of crashing on a bare [Invalid_argument]. *)
+
+type check = { property : string; ok : bool; detail : string }
+(** A pre/post invariant asserted by a pipeline stage: the property the
+    stage is supposed to establish, whether it holds on the stage's
+    output, and a human-readable explanation. *)
+
 type step = {
   label : string;
   rules : Rule.t list;
   note : string;
+  checks : check list;  (** the stage's post-condition report *)
 }
 
 type t = {
@@ -24,6 +35,16 @@ type t = {
 
 val regalize :
   ?max_rounds:int -> ?max_disjuncts:int -> Instance.t -> Rule.t list -> t
+(** Runs the four surgeries in order. Each stage re-checks the invariant
+    it claims to establish — encoding covers the instance (Def. 12),
+    reification yields a binary signature, streamlining yields
+    forward-existential and predicate-unique rules (Defs. 21/22), body
+    rewriting reaches its fixpoint — and records the verdicts in
+    [step.checks] instead of failing silently. *)
+
+val failed_checks : t -> (string * check) list
+(** All failed stage invariants, tagged with their stage label.
+    [Nca_analysis.Lint.of_pipeline] turns these into diagnostics. *)
 
 val verify_chase_preservation :
   ?depth:int -> Instance.t -> Rule.t list -> t -> (string * bool) list

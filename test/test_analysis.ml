@@ -378,6 +378,145 @@ let prop_core_equivalent =
       let c = Core.core i in
       Hom.hom_equiv i c && Core.is_core c)
 
+(* ------------------------------------------------------------------ *)
+(* Lint engine: one triggering and one non-triggering fixture per
+   diagnostic code, plus JSON round-trips and the exit-status policy. *)
+
+module Lint = Nca_analysis.Lint
+module Diag = Nca_analysis.Diagnostic
+module Ajson = Nca_analysis.Json
+module Pipeline = Nca_surgery.Pipeline
+
+let has_code code ds = List.exists (fun (d : Diag.t) -> d.code = code) ds
+
+(* (code, triggering source, non-triggering source). NCA002 and NCA013
+   cannot be provoked from source text (the parser rejects arity drift
+   and pipeline invariants need a pipeline run); they get their own
+   tests below. *)
+let lint_fixtures =
+  [
+    ("NCA001", "r: E(x,", "E(a,b).");
+    ("NCA003", "r: A(x) -> E(x,y).", "r: E(x,y) -> A(x).");
+    ( "NCA004",
+      "a: P(x) -> Q(x). b: Q(x) -> P(x).",
+      "a: E(x,y) -> P(x). b: P(x) -> Q(x)." );
+    ( "NCA005",
+      "r: E(x,y) -> A(x). ?(x,y) E(x,y).",
+      "r: E(x,y) -> A(x). ?(x) A(x)." );
+    ( "NCA006",
+      "gen: E(x,y) -> B(x). spec: E(x,x) -> B(x).",
+      "a: E(x,y) -> B(x). b: F(x,y) -> B(x)." );
+    ("NCA007", "g: A(x) -> E(x,y), A(y).", "t: E(x,y) -> A(x).");
+    ("NCA008", "r: E(x,y) -> E(z,x).", "r: E(x,y) -> E(y,z).");
+    ( "NCA009",
+      "r: A(x) -> E(x,y), E(y,z).",
+      "r: A(x) -> E(x,y), F(y,z)." );
+    ("NCA010", "g: A(x) -> E(x,y), A(y).", "r: E(x,y) -> F(x,z).");
+    ("NCA011", "r: E(x,y) -> E(x,x).", "r: E(x,y) -> E(y,x).");
+    ("NCA012", "r: R(x,y,z) -> A(x).", "r: E(x,y) -> A(x).");
+  ]
+
+let test_lint_fixture_table () =
+  List.iter
+    (fun (code, pos, neg) ->
+      check (code ^ " fires on its fixture") true
+        (has_code code (Lint.lint_source pos));
+      check (code ^ " stays silent on the negative fixture") false
+        (has_code code (Lint.lint_source neg)))
+    lint_fixtures
+
+let test_lint_arity_drift () =
+  (* the parser itself enforces a consistent signature, so an NCA002
+     program has to be assembled through the API *)
+  let p1 = Symbol.make "P" 1 and p2 = Symbol.make "P" 2 in
+  let a1 = Symbol.make "A" 1 in
+  let x = Term.var "x" and y = Term.var "y" in
+  let r1 = Rule.make ~name:"r1" [ Atom.make p1 [ x ] ] [ Atom.make a1 [ x ] ] in
+  let r2 =
+    Rule.make ~name:"r2" [ Atom.make p2 [ x; y ] ] [ Atom.make a1 [ x ] ]
+  in
+  let drifting =
+    { Parser.facts = Instance.empty; rules = [ r1; r2 ]; queries = [] }
+  in
+  check "NCA002 fires on P/1 vs P/2" true (has_code "NCA002" (Lint.run drifting));
+  let consistent =
+    { Parser.facts = Instance.empty; rules = [ r1 ]; queries = [] }
+  in
+  check "NCA002 silent on a consistent signature" false
+    (has_code "NCA002" (Lint.run consistent))
+
+let test_lint_parse_error_span () =
+  match Lint.lint_source "E(a,b).\nr: E(x," with
+  | [ d ] -> (
+      check "NCA001" true (d.Diag.code = "NCA001");
+      check "severity error" true (d.Diag.severity = Diag.Error);
+      match d.Diag.location with
+      | Diag.Span { line; column } ->
+          check "line 2" true (line = 2);
+          check "positive column" true (column > 0)
+      | _ -> Alcotest.fail "expected a Span location")
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_lint_pipeline_invariants () =
+  let entry = Nca_core.Rulesets.example1_bdd in
+  let ok = Pipeline.regalize entry.instance entry.rules in
+  check "clean pipeline has no violated invariant" true
+    (Lint.of_pipeline ok = []);
+  let starved = Pipeline.regalize ~max_rounds:0 entry.instance entry.rules in
+  let ds = Lint.of_pipeline starved in
+  check "starved rewriting budget reports NCA013" true (has_code "NCA013" ds);
+  check "budget exhaustion is a warning, not an error" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.code = "NCA013" && d.severity = Diag.Warning)
+       ds)
+
+let test_lint_json_roundtrip () =
+  let source =
+    "E(a,b). grow: A(x) -> E(x,y), A(y). loopy: E(x,y) -> E(x,x). ?(x) A(x)."
+  in
+  let ds = Lint.lint_source source in
+  check "fixture produced diagnostics" true (ds <> []);
+  List.iter
+    (fun d ->
+      check "diagnostic JSON round-trips" true
+        (Diag.of_json (Diag.to_json d) = Some d))
+    ds;
+  (* the whole --json document parses back and keeps every diagnostic *)
+  match Ajson.parse (Ajson.to_string (Lint.report_to_json ds)) with
+  | Error e -> Alcotest.failf "report does not re-parse: %s" e
+  | Ok doc -> (
+      check "version 1" true
+        (Option.bind (Ajson.member "version" doc) Ajson.to_int = Some 1);
+      match Option.bind (Ajson.member "diagnostics" doc) Ajson.to_list with
+      | None -> Alcotest.fail "missing diagnostics array"
+      | Some vs ->
+          check_int "same cardinality" (List.length ds) (List.length vs);
+          List.iter2
+            (fun d v ->
+              check "array entry round-trips" true (Diag.of_json v = Some d))
+            ds vs)
+
+let test_lint_exit_status () =
+  let diag severity =
+    Diag.make ~code:"NCA999" ~severity ~location:Diag.Program "synthetic"
+  in
+  check_int "clean exits 0" 0 (Lint.exit_status []);
+  check_int "an error exits 1" 1 (Lint.exit_status [ diag Diag.Error ]);
+  check_int "warnings alone exit 0" 0 (Lint.exit_status [ diag Diag.Warning ]);
+  check_int "infos alone exit 0" 0 (Lint.exit_status [ diag Diag.Info ]);
+  check_int "--max-warnings 0 turns warnings fatal" 1
+    (Lint.exit_status ~max_warnings:0 [ diag Diag.Warning ]);
+  check_int "--max-warnings 1 tolerates one" 0
+    (Lint.exit_status ~max_warnings:1 [ diag Diag.Warning ])
+
+let test_lint_select () =
+  let source = "g: A(x) -> E(x,y), A(y). loopy: E(x,y) -> E(x,x)." in
+  let ds = Lint.lint_source ~select:[ "NCA011" ] source in
+  check "selected code fires" true (has_code "NCA011" ds);
+  check "unselected codes suppressed" true
+    (List.for_all (fun (d : Diag.t) -> d.code = "NCA011") ds)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_chromatic_at_least_tournament; prop_core_equivalent ]
@@ -445,6 +584,16 @@ let () =
         [
           tc "shape" test_critical_instance;
           tc "datalog saturation" test_critical_detects_nontermination_direction;
+        ] );
+      ( "lint",
+        [
+          tc "fixture table (pos/neg per code)" test_lint_fixture_table;
+          tc "arity drift (NCA002)" test_lint_arity_drift;
+          tc "parse error span (NCA001)" test_lint_parse_error_span;
+          tc "pipeline invariants (NCA013)" test_lint_pipeline_invariants;
+          tc "JSON round-trip" test_lint_json_roundtrip;
+          tc "exit status policy" test_lint_exit_status;
+          tc "--select filtering" test_lint_select;
         ] );
       ("qcheck", props);
     ]

@@ -238,12 +238,56 @@ let prop_dag_forward_existential =
       in
       Nca_graph.Digraph.Term_graph.is_dag g)
 
+let prop_offending_cycle_certificate =
+  QCheck.Test.make ~name:"offending_cycle is a real special-edge cycle"
+    ~count:100 rules_arb (fun rules ->
+      let module A = Nca_chase.Acyclicity in
+      match A.offending_cycle rules with
+      | None -> A.is_weakly_acyclic rules
+      | Some cycle ->
+          let edges = A.dependency_graph rules in
+          let edge ?special u v =
+            List.exists
+              (fun (e : A.edge) ->
+                e.source = u && e.target = v
+                &&
+                match special with None -> true | Some s -> e.special = s)
+              edges
+          in
+          let rec pairs = function
+            | u :: (v :: _ as rest) -> (u, v) :: pairs rest
+            | _ -> []
+          in
+          let ps = pairs cycle in
+          (not (A.is_weakly_acyclic rules))
+          && ps <> []
+          && List.hd cycle = List.nth cycle (List.length cycle - 1)
+          && List.for_all (fun (u, v) -> edge u v) ps
+          && (let u, v = List.hd ps in
+              edge ~special:true u v))
+
+let test_acyclicity_certificate_example () =
+  let module A = Nca_chase.Acyclicity in
+  let rules = Parser.parse_rules "g: A(x) -> E(x,y), A(y)." in
+  check "not weakly acyclic" false (A.is_weakly_acyclic rules);
+  match A.offending_cycle rules with
+  | None -> Alcotest.fail "expected a certificate"
+  | Some cycle -> check "cycle closes" true (List.hd cycle = List.nth cycle (List.length cycle - 1))
+
+let test_acyclicity_negative () =
+  let module A = Nca_chase.Acyclicity in
+  (* special edges exist (y is existential) but no cycle through one *)
+  let rules = Parser.parse_rules "r: E(x,y) -> A(x). s: A(x) -> B(x,y)." in
+  check "weakly acyclic" true (A.is_weakly_acyclic rules);
+  check "no certificate" true (A.offending_cycle rules = None)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_chase_monotone_in_depth;
       prop_chase_preserves_database;
       prop_dag_forward_existential;
+      prop_offending_cycle_certificate;
     ]
 
 let tc name fn = Alcotest.test_case name `Quick fn
@@ -279,6 +323,11 @@ let () =
           tc "entails queries" test_chase_entails_its_queries;
           tc "dag for fwd-existential" test_chase_dag_for_forward_existential;
           tc "first loop level" test_holds_at_first_level;
+        ] );
+      ( "acyclicity",
+        [
+          tc "certificate on a cyclic set" test_acyclicity_certificate_example;
+          tc "no certificate on a weakly acyclic set" test_acyclicity_negative;
         ] );
       ("properties", props);
     ]
