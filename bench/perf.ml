@@ -1,0 +1,473 @@
+(* Perf harness for the matching/evaluation hot path.
+
+   Times the indexed, delta-driven engines (Hom over the positional
+   index, Chase.run over Trigger.all_delta, semi-naive Datalog) against
+   the pre-index reference implementations preserved below in [Naive]
+   (per-predicate scans, full trigger re-enumeration every round, string
+   trigger keys), and writes machine-readable BENCH_chase.json so later
+   PRs have a perf trajectory to beat.
+
+   Usage:
+     perf.exe                 full run, writes BENCH_chase.json in the cwd
+     perf.exe --out FILE      full run, writes FILE
+     perf.exe --smoke         seconds-scale budgets, no file unless --out;
+                              still validates JSON well-formedness and the
+                              naive/indexed equivalence checks (the
+                              @bench-smoke alias runs this under dune)
+
+   Every workload run also cross-checks the two engines against each
+   other (atom counts, level profiles, closure equality); a mismatch
+   exits non-zero, so the harness doubles as an integration test. *)
+
+open Nca_logic
+module Chase = Nca_chase.Chase
+module Trigger = Nca_chase.Trigger
+module Datalog = Nca_chase.Datalog
+module Rewrite = Nca_rewriting.Rewrite
+module Rulesets = Nca_core.Rulesets
+module Json = Nca_analysis.Json
+
+(* ------------------------------------------------------------------ *)
+(* The reference ("before") engines: the seed implementations, kept
+   verbatim so the before/after numbers stay honest across PRs. *)
+
+module Naive = struct
+  (* Seed Hom: candidates filtered by predicate only, sub-goal order by
+     number of already-bound positions. *)
+
+  let match_atom sub a b =
+    let rec go sub ss ts =
+      match (ss, ts) with
+      | [], [] -> Some sub
+      | s :: ss, t :: ts -> (
+          if not (Term.is_mappable s) then
+            if Term.equal s t then go sub ss ts else None
+          else
+            match Subst.find_opt s sub with
+            | Some u -> if Term.equal u t then go sub ss ts else None
+            | None -> go (Subst.add s t sub) ss ts)
+      | _ -> None
+    in
+    go sub (Atom.args a) (Atom.args b)
+
+  let bound_terms sub a =
+    List.fold_left
+      (fun n t ->
+        if (not (Term.is_mappable t)) || Subst.mem t sub then n + 1 else n)
+      0 (Atom.args a)
+
+  let pick sub atoms =
+    let rec go best best_score acc = function
+      | [] -> (best, List.rev acc)
+      | a :: rest ->
+          let score = bound_terms sub a in
+          if score > best_score then go a score (best :: acc) rest
+          else go best best_score (a :: acc) rest
+    in
+    match atoms with
+    | [] -> invalid_arg "Naive.pick: empty"
+    | a :: rest -> go a (bound_terms sub a) [] rest
+
+  let iter ?(init = Subst.empty) src tgt f =
+    let rec solve sub = function
+      | [] -> f sub
+      | atoms ->
+          let a, rest = pick sub atoms in
+          List.iter
+            (fun b ->
+              match match_atom sub a b with
+              | Some sub' -> solve sub' rest
+              | None -> ())
+            (Instance.with_pred (Atom.pred a) tgt)
+    in
+    solve init src
+
+  let count ?init src tgt =
+    let n = ref 0 in
+    iter ?init src tgt (fun _ -> incr n);
+    !n
+
+  let trigger_all rules i =
+    List.concat_map
+      (fun rule ->
+        let acc = ref [] in
+        iter (Rule.body rule) i (fun hom ->
+            acc := { Trigger.rule; hom } :: !acc);
+        List.rev !acc)
+      rules
+
+  (* Seed trigger identity: a formatted string per enumeration. *)
+  let trigger_key (tr : Trigger.t) =
+    let bindings =
+      Term.Set.elements (Rule.body_vars tr.rule)
+      |> List.map (fun x ->
+             Fmt.str "%a=%a" Term.pp x Term.pp (Subst.apply tr.hom x))
+    in
+    String.concat "|" (Rule.name tr.rule :: bindings)
+
+  let stamp_terms level terms stamps =
+    Term.Set.fold
+      (fun t acc ->
+        if Term.Map.mem t acc then acc else Term.Map.add t level acc)
+      terms stamps
+
+  (* Seed oblivious chase: re-enumerates every trigger over the whole
+     instance at every level, filtered through the string-key table;
+     keeps the same timestamp/provenance bookkeeping for a fair clock. *)
+  let chase ~max_depth ~max_atoms start rules =
+    let fired = Hashtbl.create 256 in
+    let rec go current levels_rev level stamps prov =
+      if level >= max_depth then finish current levels_rev ~saturated:false
+      else
+        let triggers =
+          List.filter
+            (fun tr ->
+              let k = trigger_key tr in
+              if Hashtbl.mem fired k then false
+              else begin
+                Hashtbl.add fired k ();
+                true
+              end)
+            (trigger_all rules current)
+        in
+        if triggers = [] then finish current levels_rev ~saturated:true
+        else begin
+          let next, stamps, prov =
+            List.fold_left
+              (fun (inst, stamps, prov) (tr : Trigger.t) ->
+                let out, ext = Trigger.output tr in
+                let prov =
+                  Term.Set.fold
+                    (fun z acc ->
+                      Term.Map.add (Subst.apply ext z)
+                        (tr.rule, tr.hom, ext, level + 1)
+                        acc)
+                    (Rule.exist_vars tr.rule) prov
+                in
+                ( Instance.union inst out,
+                  stamp_terms (level + 1) (Instance.adom out) stamps,
+                  prov ))
+              (current, stamps, prov) triggers
+          in
+          if Instance.cardinal next > max_atoms then
+            finish next (next :: levels_rev) ~saturated:false
+          else go next (next :: levels_rev) (level + 1) stamps prov
+        end
+    and finish instance levels_rev ~saturated =
+      (instance, List.rev levels_rev, saturated)
+    in
+    let stamps = stamp_terms 0 (Instance.adom start) Term.Map.empty in
+    go start [ start ] 0 stamps Term.Map.empty
+
+  (* Seed semi-naive Datalog: pivot seeded on the delta, the rest of the
+     body matched by predicate scan over the whole relation (duplicate
+     enumerations across pivots included), persistent accumulator. *)
+  let datalog_saturate ?(max_rounds = 10000) start rules =
+    let rec split_nth i acc = function
+      | [] -> invalid_arg "split_nth"
+      | x :: rest ->
+          if i = 0 then (x, List.rev_append acc rest)
+          else split_nth (i - 1) (x :: acc) rest
+    in
+    let rec go total delta round =
+      if Instance.is_empty delta then total
+      else if round > max_rounds then failwith "naive datalog: rounds budget"
+      else begin
+        let fresh = ref Instance.empty in
+        List.iter
+          (fun rule ->
+            let body = Rule.body rule in
+            List.iteri
+              (fun i _ ->
+                let pivot, rest = split_nth i [] body in
+                Instance.iter
+                  (fun fact ->
+                    match Datalog.seed_with pivot fact with
+                    | None -> ()
+                    | Some seed ->
+                        iter ~init:seed rest total (fun h ->
+                            List.iter
+                              (fun head_atom ->
+                                let derived = Subst.apply_atom h head_atom in
+                                if not (Instance.mem derived total) then
+                                  fresh := Instance.add derived !fresh)
+                              (Rule.head rule)))
+                  delta)
+              body)
+          rules;
+        let fresh = Instance.diff !fresh total in
+        go (Instance.union total fresh) fresh (round + 1)
+      end
+    in
+    go start start 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Timing *)
+
+let time_us ?(reps = 3) f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, int_of_float (!best *. 1_000_000.))
+
+let speedup_x100 ~before ~after = before * 100 / max 1 after
+
+let failures = ref 0
+
+let check_eq ~workload what a b =
+  if a <> b then begin
+    Fmt.epr "MISMATCH %s: %s: %d vs %d@." workload what a b;
+    incr failures
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Workloads *)
+
+type budgets = { depth : int; atoms : int }
+
+let chase_workload ~reps (name, full, smoke_b) ~smoke =
+  let b = if smoke then smoke_b else full in
+  let entry = Rulesets.find name in
+  let (n_inst, n_levels, n_sat), before_us =
+    time_us ~reps (fun () ->
+        Naive.chase ~max_depth:b.depth ~max_atoms:b.atoms entry.instance
+          entry.rules)
+  in
+  let c, after_us =
+    time_us ~reps (fun () ->
+        Chase.run ~max_depth:b.depth ~max_atoms:b.atoms entry.instance
+          entry.rules)
+  in
+  let workload = "chase/" ^ name in
+  check_eq ~workload "atoms" (Instance.cardinal n_inst)
+    (Instance.cardinal c.instance);
+  check_eq ~workload "levels" (List.length n_levels)
+    (List.length c.levels);
+  check_eq ~workload "saturated" (Bool.to_int n_sat)
+    (Bool.to_int c.saturated);
+  List.iter2
+    (fun a b ->
+      check_eq ~workload "level profile" (Instance.cardinal a)
+        (Instance.cardinal b))
+    n_levels c.levels;
+  Json.Obj
+    [
+      ("kind", Json.String "chase");
+      ("name", Json.String name);
+      ("max_depth", Json.Int b.depth);
+      ("max_atoms", Json.Int b.atoms);
+      ("atoms", Json.Int (Instance.cardinal c.instance));
+      ("before_us", Json.Int before_us);
+      ("after_us", Json.Int after_us);
+      ("speedup_x100", Json.Int (speedup_x100 ~before:before_us ~after:after_us));
+    ]
+
+let datalog_workload ~reps (name, instance, rules_src, smoke_scale) ~smoke =
+  let instance = if smoke then smoke_scale instance else instance in
+  let rules = Parser.parse_rules rules_src in
+  let n_closure, before_us =
+    time_us ~reps (fun () -> Naive.datalog_saturate instance rules)
+  in
+  let closure, after_us =
+    time_us ~reps (fun () -> Datalog.saturate instance rules)
+  in
+  let workload = "datalog/" ^ name in
+  check_eq ~workload "closure" (Instance.cardinal n_closure)
+    (Instance.cardinal closure);
+  if not (Instance.equal n_closure closure) then begin
+    Fmt.epr "MISMATCH %s: closures differ@." workload;
+    incr failures
+  end;
+  Json.Obj
+    [
+      ("kind", Json.String "datalog");
+      ("name", Json.String name);
+      ("db_atoms", Json.Int (Instance.cardinal instance));
+      ("closure_atoms", Json.Int (Instance.cardinal closure));
+      ("before_us", Json.Int before_us);
+      ("after_us", Json.Int after_us);
+      ("speedup_x100", Json.Int (speedup_x100 ~before:before_us ~after:after_us));
+    ]
+
+let hom_workload ~reps (name, pattern, target) =
+  let n_count, before_us = time_us ~reps (fun () -> Naive.count pattern target) in
+  let count, after_us = time_us ~reps (fun () -> Hom.count pattern target) in
+  check_eq ~workload:("hom/" ^ name) "hom count" n_count count;
+  Json.Obj
+    [
+      ("kind", Json.String "hom");
+      ("name", Json.String name);
+      ("target_atoms", Json.Int (Instance.cardinal target));
+      ("homs", Json.Int count);
+      ("before_us", Json.Int before_us);
+      ("after_us", Json.Int after_us);
+      ("speedup_x100", Json.Int (speedup_x100 ~before:before_us ~after:after_us));
+    ]
+
+(* Rewriting rides on the same Hom hot path; no separate naive engine is
+   preserved for it, so these entries record the trajectory only. *)
+let rewrite_workload ~reps ~max_rounds name =
+  let entry = Rulesets.find name in
+  let q = Cq.atom_query entry.e in
+  let out, after_us =
+    time_us ~reps (fun () -> Rewrite.rewrite ~max_rounds entry.rules q)
+  in
+  Json.Obj
+    [
+      ("kind", Json.String "rewrite");
+      ("name", Json.String name);
+      ("max_rounds", Json.Int max_rounds);
+      ("ucq_size", Json.Int (Ucq.size out.ucq));
+      ("complete", Json.Bool out.complete);
+      ("after_us", Json.Int after_us);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let chain n =
+  Instance.of_list
+    (List.init n (fun i ->
+         Atom.app "E"
+           [ Term.cst (Fmt.str "c%d" i); Term.cst (Fmt.str "c%d" (i + 1)) ]))
+
+let star n =
+  Instance.of_list
+    (Atom.app "H" [ Term.cst "hub" ]
+    :: List.init n (fun i -> Atom.app "N" [ Term.cst (Fmt.str "n%d" i) ]))
+
+let run_all ~smoke =
+  let reps = if smoke then 1 else 3 in
+  (* Budgets are per-workload: deep for the linear/join rule sets where
+     the naive engine's per-round re-enumeration bites, shallow for the
+     geometric ones (dense, tangle, example1_bdd) where the final round
+     dominates both engines and the honest speedup is modest. *)
+  let chase_workloads =
+    [
+      ("example1", { depth = 32; atoms = 20000 }, { depth = 8; atoms = 500 });
+      ("example1_bdd", { depth = 6; atoms = 20000 }, { depth = 4; atoms = 500 });
+      ("dense", { depth = 8; atoms = 20000 }, { depth = 5; atoms = 500 });
+      ("tangle", { depth = 8; atoms = 20000 }, { depth = 5; atoms = 500 });
+      ("succ_only", { depth = 250; atoms = 20000 }, { depth = 30; atoms = 500 });
+      ("inclusion", { depth = 300; atoms = 20000 }, { depth = 30; atoms = 500 });
+      ("guarded", { depth = 250; atoms = 20000 }, { depth = 30; atoms = 500 });
+      ("all_pairs", { depth = 80; atoms = 20000 }, { depth = 10; atoms = 500 });
+    ]
+  in
+  let datalog_workloads =
+    [
+      ( "tc_chain",
+        chain (if smoke then 12 else 48),
+        "tc: E(x,y), E(y,z) -> E(x,z).",
+        fun i -> i );
+      ( "tc_sym_random",
+        Rulesets.random_instance ~seed:7
+          ~constants:(if smoke then 8 else 24)
+          ~atoms:(if smoke then 20 else 120)
+          (Symbol.Set.singleton (Symbol.make "E" 2)),
+        "sym: E(x,y) -> E(y,x). tc: E(x,y), E(y,z) -> E(x,z).",
+        fun i -> i );
+      ( "broadcast_star",
+        star (if smoke then 10 else 60),
+        "b1: H(x), N(y) -> E(x,y). b2: H(x), N(y) -> E(y,x).",
+        fun i -> i );
+    ]
+  in
+  let chase_rows =
+    List.map (fun w -> chase_workload ~reps w ~smoke) chase_workloads
+  in
+  let datalog_rows =
+    List.map (fun w -> datalog_workload ~reps w ~smoke) datalog_workloads
+  in
+  let hom_target =
+    let entry = Rulesets.find "example1_bdd" in
+    (Chase.run ~max_depth:(if smoke then 4 else 6) entry.instance entry.rules)
+      .instance
+  in
+  let u = Term.var "u" and v = Term.var "v" and w = Term.var "w" in
+  let e s t = Atom.app "E" [ s; t ] in
+  let hom_rows =
+    List.map
+      (fun w -> hom_workload ~reps w)
+      [
+        ("path2_exists_seeded", [ e u v; e v w ], hom_target);
+        ("vee_join", [ e u v; e u w ], hom_target);
+      ]
+  in
+  let rewrite_rows =
+    List.map
+      (rewrite_workload ~reps ~max_rounds:(if smoke then 4 else 8))
+      [ "example1_bdd"; "symmetric"; "sticky"; "ucq_defined" ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "nocliques/bench_chase/v1");
+      ("smoke", Json.Bool smoke);
+      ("time_unit", Json.String "us");
+      ( "note",
+        Json.String
+          "before = seed engines (predicate-scan Hom, full trigger \
+           re-enumeration, string keys); after = positional-index Hom + \
+           delta-driven chase + structural keys. speedup_x100 = 100 * \
+           before/after." );
+      ( "workloads",
+        Json.List (chase_rows @ datalog_rows @ hom_rows @ rewrite_rows) );
+    ]
+
+let summarize doc =
+  match Json.member "workloads" doc with
+  | Some (Json.List rows) ->
+      List.iter
+        (fun row ->
+          let str k = Option.bind (Json.member k row) Json.to_str in
+          let int k = Option.bind (Json.member k row) Json.to_int in
+          let name =
+            Fmt.str "%s/%s"
+              (Option.value ~default:"?" (str "kind"))
+              (Option.value ~default:"?" (str "name"))
+          in
+          match (int "before_us", int "after_us", int "speedup_x100") with
+          | Some b, Some a, Some s ->
+              Fmt.pr "%-28s %8d us -> %8d us  (%d.%02dx)@." name b a (s / 100)
+                (s mod 100)
+          | _ ->
+              Fmt.pr "%-28s %8s    -> %8d us@." name "-"
+                (Option.value ~default:0 (int "after_us")))
+        rows
+  | _ -> ()
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" argv in
+  let rec out_arg = function
+    | "--out" :: path :: _ -> Some path
+    | _ :: rest -> out_arg rest
+    | [] -> None
+  in
+  let out = out_arg argv in
+  let doc = run_all ~smoke in
+  let rendered = Fmt.str "%a" Json.pp doc in
+  (* harness-rot check: the emitted document must round-trip *)
+  (match Json.parse rendered with
+  | Ok _ -> ()
+  | Error e ->
+      Fmt.epr "BENCH json does not round-trip: %s@." e;
+      incr failures);
+  summarize doc;
+  (if Option.is_some out || not smoke then begin
+     let path = Option.value ~default:"BENCH_chase.json" out in
+     let oc = open_out path in
+     output_string oc rendered;
+     output_string oc "\n";
+     close_out oc;
+     Fmt.pr "wrote %s@." path
+   end);
+  if !failures > 0 then begin
+    Fmt.epr "%d failure(s)@." !failures;
+    exit 2
+  end

@@ -25,25 +25,22 @@ let stamp_terms level terms stamps =
 
 type variant = Oblivious | Semi_oblivious | Restricted
 
-(* Semi-oblivious identity: rule + ordered frontier bindings. *)
-let frontier_key tr =
-  let rule = tr.Trigger.rule in
-  let bindings =
-    Term.Set.elements (Rule.frontier rule)
-    |> List.map (fun x ->
-           Fmt.str "%a=%a" Term.pp x Term.pp (Subst.apply tr.Trigger.hom x))
-  in
-  String.concat "|" (Rule.name rule :: bindings)
-
 let satisfied tr inst =
   let rule = tr.Trigger.rule in
   let init = Subst.restrict (Rule.frontier rule) tr.Trigger.hom in
   Hom.exists ~init (Rule.head rule) inst
 
+module Keytbl = Hashtbl.Make (Trigger.Key)
+
+(* Delta-driven: each round only enumerates the triggers whose body uses
+   an atom created in the previous round ([Trigger.all_delta]); triggers
+   entirely over older levels were enumerated — and recorded in [fired] —
+   when their last atom appeared. The first round runs with
+   [delta = start], i.e. every trigger over the input. *)
 let run ?(variant = Oblivious) ?(max_depth = 8) ?(max_atoms = 20000) start
     rules =
-  let fired = Hashtbl.create 256 in
-  let rec go current levels_rev level stamps prov =
+  let fired = Keytbl.create 256 in
+  let rec go current delta levels_rev level stamps prov =
     if level >= max_depth then finish current levels_rev stamps prov ~saturated:false ~truncated:false
     else begin
       let triggers =
@@ -51,27 +48,29 @@ let run ?(variant = Oblivious) ?(max_depth = 8) ?(max_atoms = 20000) start
           (fun tr ->
             let k =
               match variant with
-              | Semi_oblivious -> frontier_key tr
+              | Semi_oblivious -> Trigger.frontier_key tr
               | Oblivious | Restricted -> Trigger.key tr
             in
-            if Hashtbl.mem fired k then false
+            if Keytbl.mem fired k then false
             else if variant = Restricted && satisfied tr current then begin
               (* its head stays satisfied forever: never reconsider *)
-              Hashtbl.add fired k ();
+              Keytbl.add fired k ();
               false
             end
             else begin
-              Hashtbl.add fired k ();
+              Keytbl.add fired k ();
               true
             end)
-          (Trigger.all rules current)
+          (Trigger.all_delta rules ~total:current ~delta)
       in
       if triggers = [] then
         finish current levels_rev stamps prov ~saturated:true ~truncated:false
       else begin
-        let next, stamps, prov =
+        (* the next delta is accumulated from the trigger outputs, so a
+           round costs O(new atoms), not a sweep of the whole instance *)
+        let (next, delta'), stamps, prov =
           List.fold_left
-            (fun (inst, stamps, prov) tr ->
+            (fun ((inst, d), stamps, prov) tr ->
               let out, ext = Trigger.output tr in
               let prov =
                 Term.Set.fold
@@ -88,15 +87,23 @@ let run ?(variant = Oblivious) ?(max_depth = 8) ?(max_atoms = 20000) start
                   (Rule.exist_vars tr.Trigger.rule)
                   prov
               in
-              ( Instance.union inst out,
+              let inst, d =
+                Instance.fold
+                  (fun a (inst, d) ->
+                    if Instance.mem a inst then (inst, d)
+                    else (Instance.add a inst, Instance.add a d))
+                  out (inst, d)
+              in
+              ( (inst, d),
                 stamp_terms (level + 1) (Instance.adom out) stamps,
                 prov ))
-            (current, stamps, prov) triggers
+            ((current, Instance.empty), stamps, prov) triggers
         in
         if Instance.cardinal next > max_atoms then
           finish next (next :: levels_rev) stamps prov ~saturated:false
             ~truncated:true
-        else go next (next :: levels_rev) (level + 1) stamps prov
+        else
+          go next delta' (next :: levels_rev) (level + 1) stamps prov
       end
     end
   and finish instance levels_rev stamps prov ~saturated ~truncated =
@@ -112,7 +119,7 @@ let run ?(variant = Oblivious) ?(max_depth = 8) ?(max_atoms = 20000) start
     }
   in
   let stamps = stamp_terms 0 (Instance.adom start) Term.Map.empty in
-  go start [ start ] 0 stamps Term.Map.empty
+  go start start [ start ] 0 stamps Term.Map.empty
 
 let level c k =
   let k = max 0 k in

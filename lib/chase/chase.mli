@@ -43,7 +43,13 @@ val run :
   ?variant:variant -> ?max_depth:int -> ?max_atoms:int -> Instance.t ->
   Rule.t list -> t
 (** Run the chase level-synchronously until saturation, [max_depth] levels
-    (default 8), or more than [max_atoms] atoms (default 20000). *)
+    (default 8), or more than [max_atoms] atoms (default 20000).
+
+    Evaluation is delta-driven (semi-naive): each round enumerates only
+    the triggers that use an atom created in the previous round
+    ({!Trigger.all_delta}) instead of re-running every rule body over the
+    whole instance, which leaves the computed levels, timestamps and
+    provenance identical to the naive level-by-level definition. *)
 
 val level : t -> int -> Instance.t
 (** [level c k] is [Ch_k]; clamped to the last computed level. *)

@@ -12,6 +12,11 @@ let check_datalog rules =
    substitution for the search over the remaining atoms. *)
 let seed_with atom fact =
   if not (Symbol.equal (Atom.pred atom) (Atom.pred fact)) then None
+  else if List.compare_lengths (Atom.args atom) (Atom.args fact) <> 0 then
+    (* unreachable for well-formed atoms (the arity is part of the
+       predicate), but malformed input must not escape as a bare
+       [Invalid_argument] from [fold_left2] *)
+    None
   else
     List.fold_left2
       (fun acc s t ->
@@ -27,45 +32,56 @@ let seed_with atom fact =
             end)
       (Some Subst.empty) (Atom.args atom) (Atom.args fact)
 
-let rec split_nth i acc = function
-  | [] -> invalid_arg "split_nth"
-  | x :: rest -> if i = 0 then (x, List.rev_append acc rest) else split_nth (i - 1) (x :: acc) rest
+(* One semi-naive round: every homomorphism of a rule body into [total]
+   that uses at least one [delta] atom, via the same pivot stratification
+   as [Trigger.all_delta] — body positions before the pivot range over
+   [total ∖ delta], the pivot over [delta], the rest over [total] — so
+   each join result is produced exactly once. Derivations accumulate in a
+   mutable store; a persistent [Instance] is rebuilt only at the round
+   boundary. *)
+let round rules ~total ~delta =
+  let old = Instance.diff total delta in
+  let fresh : (Atom.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun rule ->
+      let body = Rule.body rule in
+      let head = Rule.head rule in
+      List.iteri
+        (fun pivot _ ->
+          let goals =
+            List.mapi
+              (fun j a ->
+                ( a,
+                  if j < pivot then old
+                  else if j = pivot then delta
+                  else total ))
+              body
+          in
+          Hom.iter_targets goals (fun h ->
+              List.iter
+                (fun head_atom ->
+                  let derived = Subst.apply_atom h head_atom in
+                  if
+                    (not (Instance.mem derived total))
+                    && not (Hashtbl.mem fresh derived)
+                  then Hashtbl.add fresh derived ())
+                head))
+        body)
+    rules;
+  Hashtbl.fold (fun a () acc -> Instance.add a acc) fresh Instance.empty
 
 let saturate_steps ?(max_rounds = 10000) ?(max_atoms = 1_000_000) start rules
     =
   check_datalog rules;
-  let rec go total delta round =
-    if Instance.is_empty delta then (total, round)
-    else if round > max_rounds then
+  let rec go total delta n =
+    if Instance.is_empty delta then (total, n)
+    else if n > max_rounds then
       raise (Budget { resource = `Rounds; limit = max_rounds })
     else if Instance.cardinal total > max_atoms then
       raise (Budget { resource = `Atoms; limit = max_atoms })
-    else begin
-      let fresh = ref Instance.empty in
-      List.iter
-        (fun rule ->
-          let body = Rule.body rule in
-          List.iteri
-            (fun i _ ->
-              let pivot, rest = split_nth i [] body in
-              Instance.iter
-                (fun fact ->
-                  match seed_with pivot fact with
-                  | None -> ()
-                  | Some seed ->
-                      Hom.iter ~init:seed rest total (fun h ->
-                          List.iter
-                            (fun head_atom ->
-                              let derived = Subst.apply_atom h head_atom in
-                              if not (Instance.mem derived total) then
-                                fresh := Instance.add derived !fresh)
-                            (Rule.head rule)))
-                delta)
-            body)
-        rules;
-      let fresh = Instance.diff !fresh total in
-      go (Instance.union total fresh) fresh (round + 1)
-    end
+    else
+      let fresh = round rules ~total ~delta in
+      go (Instance.union total fresh) fresh (n + 1)
   in
   go start start 0
 

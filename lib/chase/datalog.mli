@@ -1,12 +1,14 @@
 (** Semi-naive bottom-up evaluation for Datalog rule sets.
 
     The Section-5 decomposition (Lemma 33) computes [Ch(Ch(S^∃), S^DL)]:
-    a Datalog closure on top of an existential chase. The generic chase
-    recomputes every trigger at every level; for the Datalog part a
-    semi-naive evaluation — joining each rule against the {e delta} of
-    the previous round — produces the same closure substantially faster.
-    Used by the benchmarks as the optimized engine for Datalog closures;
-    equivalence with {!Chase.run} is part of the test suite. *)
+    a Datalog closure on top of an existential chase. Evaluation is
+    semi-naive — each round joins every rule body against the {e delta}
+    of the previous round through the pivot stratification of
+    {!Hom.iter_targets}, so no derivation is recomputed — with a mutable
+    fact store inside a round and a persistent {!Instance} only at round
+    boundaries. Used by the benchmarks as the optimized engine for
+    Datalog closures; equivalence with {!Chase.run} is part of the test
+    suite. *)
 
 open Nca_logic
 
@@ -15,6 +17,13 @@ exception Not_datalog of Rule.t
 exception Budget of { resource : [ `Rounds | `Atoms ]; limit : int }
 (** A saturation budget was exhausted — typed so callers (the lint CLI in
     particular) can render it as a diagnostic instead of crashing. *)
+
+val seed_with : Atom.t -> Atom.t -> Subst.t option
+(** [seed_with atom fact] unifies a body atom against a concrete fact:
+    [Some sub] with [sub atom = fact], [None] when the predicates differ,
+    the arities mismatch, or the atom's repeated variables / constants
+    disagree with the fact. Total — malformed input yields [None], never
+    an exception. *)
 
 val saturate : ?max_rounds:int -> ?max_atoms:int -> Instance.t -> Rule.t list -> Instance.t
 (** Least fixpoint of the Datalog rules over the instance. Raises

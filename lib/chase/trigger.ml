@@ -2,11 +2,67 @@ open Nca_logic
 
 type t = { rule : Rule.t; hom : Subst.t }
 
+module Key = struct
+  type t = { rule : string; bindings : Term.t list }
+
+  let equal a b =
+    String.equal a.rule b.rule
+    && List.equal Term.equal a.bindings b.bindings
+
+  let compare a b =
+    match String.compare a.rule b.rule with
+    | 0 -> List.compare Term.compare a.bindings b.bindings
+    | c -> c
+
+  (* [Hashtbl.hash] stops after a few nodes, which collides badly on long
+     binding lists differing only in their tail; fold the whole list. *)
+  let hash k =
+    List.fold_left
+      (fun h t -> (h * 31) + Hashtbl.hash t)
+      (Hashtbl.hash k.rule) k.bindings
+
+  let pp ppf k =
+    Fmt.pf ppf "%s|%a" k.rule Fmt.(list ~sep:(any "|") Term.pp) k.bindings
+end
+
+let make_key rule vars hom =
+  {
+    Key.rule = Rule.name rule;
+    bindings = List.map (Subst.apply hom) (Term.Set.elements vars);
+  }
+
+let key tr = make_key tr.rule (Rule.body_vars tr.rule) tr.hom
+let frontier_key tr = make_key tr.rule (Rule.frontier tr.rule) tr.hom
+
 let all rules i =
   List.concat_map
     (fun rule ->
       List.map (fun hom -> { rule; hom }) (Hom.all (Rule.body rule) i))
     rules
+
+(* Semi-naive enumeration: a homomorphism into [total] uses a delta atom
+   iff some body position maps into [delta]; pinning the {e first} such
+   position [p] — positions before [p] map into [total ∖ delta], position
+   [p] into [delta], positions after [p] anywhere in [total] — partitions
+   the delta-using homomorphisms, so each is produced exactly once. *)
+let all_delta rules ~total ~delta =
+  let old = Instance.diff total delta in
+  let acc = ref [] in
+  List.iter
+    (fun rule ->
+      let body = Rule.body rule in
+      List.iteri
+        (fun pivot _ ->
+          let goals =
+            List.mapi
+              (fun j a ->
+                (a, if j < pivot then old else if j = pivot then delta else total))
+              body
+          in
+          Hom.iter_targets goals (fun hom -> acc := { rule; hom } :: !acc))
+        body)
+    rules;
+  List.rev !acc
 
 let output tr =
   let ext =
@@ -15,13 +71,6 @@ let output tr =
       (Rule.exist_vars tr.rule) tr.hom
   in
   (Instance.of_list (Subst.apply_atoms ext (Rule.head tr.rule)), ext)
-
-let key tr =
-  let bindings =
-    Term.Set.elements (Rule.body_vars tr.rule)
-    |> List.map (fun x -> Fmt.str "%a=%a" Term.pp x Term.pp (Subst.apply tr.hom x))
-  in
-  String.concat "|" (Rule.name tr.rule :: bindings)
 
 let frontier_image tr =
   Term.Set.map (Subst.apply tr.hom) (Rule.frontier tr.rule)

@@ -7,9 +7,31 @@ open Nca_logic
 
 type t = { rule : Rule.t; hom : Subst.t }
 
+(** Structural trigger identity: the rule's name together with the
+    ordered images of a variable set. Hashable — the chase stores fired
+    triggers in a [Hashtbl.Make (Trigger.Key)] — without formatting
+    anything to a string. *)
+module Key : sig
+  type t = { rule : string; bindings : Term.t list }
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : t Fmt.t
+end
+
 val all : Rule.t list -> Instance.t -> t list
 (** [triggers(I, R)]: every trigger of every rule over the instance. Each
     reported homomorphism binds exactly the body variables. *)
+
+val all_delta : Rule.t list -> total:Instance.t -> delta:Instance.t -> t list
+(** The triggers over [total] whose homomorphism uses at least one atom
+    of [delta] (which must be a subset of [total]) — the per-round work
+    of a semi-naive chase. Each such trigger is enumerated exactly once:
+    the classic pivot decomposition stratifies the rule body over
+    [(total ∖ delta, delta, total)]. With [delta = total] this is exactly
+    {!all}, and [all total = all_delta ~total ~delta ∪ all (total ∖ delta)]
+    disjointly — property-tested in the suite. *)
 
 val output : t -> Instance.t * Subst.t
 (** The output of the trigger: [h'(head ρ)] where [h'] extends [h] by
@@ -17,10 +39,14 @@ val output : t -> Instance.t * Subst.t
     returns [h'] (the extension), whose restriction to the existential
     variables identifies the created nulls. *)
 
-val key : t -> string
+val key : t -> Key.t
 (** A canonical identity for the trigger (rule name + the ordered
     bindings of all body variables), used to fire each trigger exactly
     once across chase levels, as the oblivious chase requires. *)
+
+val frontier_key : t -> Key.t
+(** Semi-oblivious (Skolem) identity: rule name + the ordered bindings of
+    the frontier variables only. *)
 
 val frontier_image : t -> Term.Set.t
 (** The image of the rule's frontier under the trigger's homomorphism —

@@ -27,11 +27,14 @@ let apply s q =
   make ~answer:(List.map (Subst.apply s) q.answer)
     (Subst.apply_atoms s q.body)
 
-let rename_apart ?avoid q =
-  ignore avoid;
+let rename_apart ?(avoid = Term.Set.empty) q =
+  let rec fresh_avoiding () =
+    let v = Term.fresh_var () in
+    if Term.Set.mem v avoid then fresh_avoiding () else v
+  in
   let renaming =
     Term.Set.fold
-      (fun x acc -> Subst.add x (Term.fresh_var ()) acc)
+      (fun x acc -> Subst.add x (fresh_avoiding ()) acc)
       (vars q) Subst.empty
   in
   apply renaming q

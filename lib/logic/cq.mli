@@ -29,7 +29,8 @@ val apply : Subst.t -> t -> t
     must be mapped to variables. *)
 
 val rename_apart : ?avoid:Term.Set.t -> t -> t
-(** Fresh-rename every variable (answer variables included). *)
+(** Fresh-rename every variable (answer variables included); the fresh
+    variables avoid [avoid]. *)
 
 val holds : ?tuple:Term.t list -> Instance.t -> t -> bool
 (** [holds ~tuple i q] is [i ⊨ q(tuple)]: a homomorphism from the body to

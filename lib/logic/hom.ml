@@ -29,42 +29,47 @@ let match_atom ~inj st a b =
   in
   go st (Atom.args a) (Atom.args b)
 
-let bound_terms st a =
-  List.fold_left
-    (fun n t ->
-      if (not (Term.is_mappable t)) || Subst.mem t st.sub then n + 1 else n)
-    0 (Atom.args a)
-
-(* Pick the most-constrained remaining atom (most already-bound positions),
-   a cheap forward-checking heuristic. *)
-let pick st atoms =
+(* Pick the remaining goal with the fewest candidate atoms under the
+   current bindings — a fail-first heuristic driven by the positional
+   index of the target, strictly sharper than counting bound positions:
+   a goal whose bound positions select a small (or empty) indexed set is
+   expanded before a goal ranging over a large relation. Each goal
+   carries its own target instance, so delta-driven enumeration can pin
+   different body atoms to different strata of the same instance. *)
+let pick st goals =
+  let score (a, tgt) = Instance.candidate_count a st.sub tgt in
   let rec go best best_score acc = function
     | [] -> (best, List.rev acc)
-    | a :: rest ->
-        let score = bound_terms st a in
-        if score > best_score then go a score (best :: acc) rest
-        else go best best_score (a :: acc) rest
+    | g :: rest ->
+        if best_score = 0 then (best, List.rev_append acc (g :: rest))
+        else
+          let s = score g in
+          if s < best_score then go g s (best :: acc) rest
+          else go best best_score (g :: acc) rest
   in
-  match atoms with
+  match goals with
   | [] -> invalid_arg "Hom.pick: empty"
-  | a :: rest -> go a (bound_terms st a) [] rest
+  | g :: rest -> go g (score g) [] rest
 
-let iter ?(inj = false) ?(init = Subst.empty) src tgt f =
-  let used =
-    if inj then Subst.range init else Term.Set.empty
-  in
-  let rec solve st = function
+let solve ~inj ~init goals f =
+  let used = if inj then Subst.range init else Term.Set.empty in
+  let rec go st = function
     | [] -> f st.sub
-    | atoms ->
-        let a, rest = pick st atoms in
+    | goals ->
+        let (a, tgt), rest = pick st goals in
         List.iter
           (fun b ->
             match match_atom ~inj st a b with
-            | Some st' -> solve st' rest
+            | Some st' -> go st' rest
             | None -> ())
-          (Instance.with_pred (Atom.pred a) tgt)
+          (Instance.candidates a st.sub tgt)
   in
-  solve { sub = init; used } src
+  go { sub = init; used } goals
+
+let iter ?(inj = false) ?(init = Subst.empty) src tgt f =
+  solve ~inj ~init (List.map (fun a -> (a, tgt)) src) f
+
+let iter_targets ?(init = Subst.empty) goals f = solve ~inj:false ~init goals f
 
 let find ?inj ?init src tgt =
   try

@@ -1,18 +1,63 @@
-type t = { atoms : Atom.Set.t; index : Atom.Set.t Symbol.Map.t }
+(* Atoms are held in a set plus two derived indexes: by predicate, and by
+   (predicate, argument position, term). The positional index is the basis
+   of the candidate intersection used by the homomorphism search: an atom
+   pattern with k bound positions restricts the search to the intersection
+   of k indexed sets instead of every atom of the predicate. *)
 
-let empty = { atoms = Atom.Set.empty; index = Symbol.Map.empty }
+module Pos = struct
+  type t = Symbol.t * int * Term.t
+
+  let compare (p1, i1, t1) (p2, i2, t2) =
+    match Symbol.compare p1 p2 with
+    | 0 -> ( match Int.compare i1 i2 with 0 -> Term.compare t1 t2 | c -> c)
+    | c -> c
+end
+
+module Pos_map = Map.Make (Pos)
+
+type t = {
+  atoms : Atom.Set.t;
+  size : int;
+  index : Atom.Set.t Symbol.Map.t;
+  pos : Atom.Set.t Pos_map.t;
+}
+
+let empty =
+  {
+    atoms = Atom.Set.empty;
+    size = 0;
+    index = Symbol.Map.empty;
+    pos = Pos_map.empty;
+  }
+
+let update_pos f a pos =
+  let p = Atom.pred a in
+  snd
+    (List.fold_left
+       (fun (i, pos) t -> (i + 1, f (p, i, t) pos))
+       (0, pos) (Atom.args a))
 
 let add a i =
   if Atom.Set.mem a i.atoms then i
   else
     {
       atoms = Atom.Set.add a i.atoms;
+      size = i.size + 1;
       index =
         Symbol.Map.update (Atom.pred a)
           (function
             | None -> Some (Atom.Set.singleton a)
             | Some s -> Some (Atom.Set.add a s))
           i.index;
+      pos =
+        update_pos
+          (fun key pos ->
+            Pos_map.update key
+              (function
+                | None -> Some (Atom.Set.singleton a)
+                | Some s -> Some (Atom.Set.add a s))
+              pos)
+          a i.pos;
     }
 
 let remove a i =
@@ -20,6 +65,7 @@ let remove a i =
   else
     {
       atoms = Atom.Set.remove a i.atoms;
+      size = i.size - 1;
       index =
         Symbol.Map.update (Atom.pred a)
           (function
@@ -28,6 +74,17 @@ let remove a i =
                 let s = Atom.Set.remove a s in
                 if Atom.Set.is_empty s then None else Some s)
           i.index;
+      pos =
+        update_pos
+          (fun key pos ->
+            Pos_map.update key
+              (function
+                | None -> None
+                | Some s ->
+                    let s = Atom.Set.remove a s in
+                    if Atom.Set.is_empty s then None else Some s)
+              pos)
+          a i.pos;
     }
 
 let of_list l = List.fold_left (fun i a -> add a i) empty l
@@ -35,8 +92,8 @@ let top = of_list [ Atom.top ]
 let atoms i = Atom.Set.elements i.atoms
 let to_set i = i.atoms
 let mem a i = Atom.Set.mem a i.atoms
-let cardinal i = Atom.Set.cardinal i.atoms
-let is_empty i = Atom.Set.is_empty i.atoms
+let cardinal i = i.size
+let is_empty i = i.size = 0
 let fold f i acc = Atom.Set.fold f i.atoms acc
 let iter f i = Atom.Set.iter f i.atoms
 let union a b = fold add b a
@@ -57,6 +114,58 @@ let with_pred p i =
   | None -> []
   | Some s -> Atom.Set.elements s
 
+let pred_cardinal p i =
+  match Symbol.Map.find_opt p i.index with
+  | None -> 0
+  | Some s -> Atom.Set.cardinal s
+
+(* The positions of [a] that are fixed under [sub]: constants are rigid,
+   and a mappable term already bound by [sub] is fixed to its image. *)
+let bound_positions a sub =
+  let _, acc =
+    List.fold_left
+      (fun (i, acc) t ->
+        let fixed =
+          if Term.is_mappable t then Subst.find_opt t sub else Some t
+        in
+        match fixed with
+        | Some u -> (i + 1, (i, u) :: acc)
+        | None -> (i + 1, acc))
+      (0, []) (Atom.args a)
+  in
+  acc
+
+let pos_find key i =
+  match Pos_map.find_opt key i.pos with
+  | None -> Atom.Set.empty
+  | Some s -> s
+
+let candidate_count a sub i =
+  let p = Atom.pred a in
+  List.fold_left
+    (fun best (pos, t) ->
+      min best (Atom.Set.cardinal (pos_find (p, pos, t) i)))
+    (pred_cardinal p i) (bound_positions a sub)
+
+let candidates a sub i =
+  let p = Atom.pred a in
+  match bound_positions a sub with
+  | [] -> with_pred p i
+  | (pos0, t0) :: rest ->
+      (* intersect the indexed sets, seeded from the first bound position;
+         the intersection stays a superset of the true matches (repeated
+         variables are only checked by the matcher), but every bound
+         position cuts the scan down to atoms agreeing with it. *)
+      let start = pos_find (p, pos0, t0) i in
+      let set =
+        List.fold_left
+          (fun acc (pos, t) ->
+            if Atom.Set.is_empty acc then acc
+            else Atom.Set.inter acc (pos_find (p, pos, t) i))
+          start rest
+      in
+      Atom.Set.elements set
+
 let signature i =
   Symbol.Map.fold (fun p _ acc -> Symbol.Set.add p acc) i.index
     Symbol.Set.empty
@@ -68,11 +177,14 @@ let map_terms f i = fold (fun a acc -> add (Atom.map f a) acc) i empty
 let apply s i = map_terms (Subst.apply s) i
 
 let rename_apart ~avoid i =
-  ignore avoid;
+  let rec fresh_avoiding () =
+    let v = Term.fresh_var () in
+    if Term.Set.mem v avoid then fresh_avoiding () else v
+  in
   let renaming =
     Term.Set.fold
       (fun t acc ->
-        if Term.is_mappable t then Subst.add t (Term.fresh_var ()) acc
+        if Term.is_mappable t then Subst.add t (fresh_avoiding ()) acc
         else acc)
       (adom i) Subst.empty
   in

@@ -41,6 +41,23 @@ val adom : t -> Term.Set.t
 val with_pred : Symbol.t -> t -> Atom.t list
 (** All atoms over the given predicate. *)
 
+val pred_cardinal : Symbol.t -> t -> int
+(** Number of atoms over the given predicate, without materializing them. *)
+
+val candidates : Atom.t -> Subst.t -> t -> Atom.t list
+(** [candidates a sub i]: the atoms of [i] that can possibly match the
+    pattern [a] under the partial binding [sub], computed by intersecting
+    the positional index [(pred, position, term)] over the positions of
+    [a] that [sub] (or a constant) already fixes. A superset of the true
+    matches — repeated unbound variables are left to the matcher — but
+    never larger than {!with_pred}, and usually far smaller once one
+    position is bound. *)
+
+val candidate_count : Atom.t -> Subst.t -> t -> int
+(** Cheap upper bound on [List.length (candidates a sub i)]: the smallest
+    indexed set over the bound positions (no intersection is computed).
+    Used by the search to order sub-goals most-constrained-first. *)
+
 val signature : t -> Symbol.Set.t
 val restrict : Symbol.Set.t -> t -> t
 (** Keep only atoms whose predicate belongs to the given signature. *)
@@ -51,7 +68,8 @@ val apply : Subst.t -> t -> t
 val rename_apart : avoid:Term.Set.t -> t -> t * Subst.t
 (** [rename_apart ~avoid i] renames every mappable term of [i] to a fresh
     variable, returning the renamed instance and the renaming used. The
-    result shares no mappable term with [avoid]. *)
+    fresh variables are guaranteed to avoid [avoid], so the result shares
+    no mappable term with it. *)
 
 val critical : Symbol.Set.t -> t
 (** The {e critical instance} of a signature: one constant [*] and every

@@ -34,12 +34,18 @@ let test_trigger_output_fresh () =
       check "fresh nulls each time" false (Instance.equal out out2)
   | _ -> Alcotest.fail "expected exactly one trigger"
 
+let key_testable = Alcotest.testable Trigger.Key.pp Trigger.Key.equal
+
 let test_trigger_key_identity () =
   let rule = Parser.rule "E(x,y) -> E(y,z)" in
   let i = Parser.instance "E(a,b)" in
   match (Trigger.all [ rule ] i, Trigger.all [ rule ] i) with
   | [ t1 ], [ t2 ] ->
-      Alcotest.(check string) "stable key" (Trigger.key t1) (Trigger.key t2)
+      Alcotest.check key_testable "stable key" (Trigger.key t1)
+        (Trigger.key t2);
+      Alcotest.(check int)
+        "stable hash" (Trigger.Key.hash (Trigger.key t1))
+        (Trigger.Key.hash (Trigger.key t2))
   | _ -> Alcotest.fail "expected exactly one trigger"
 
 let test_trigger_frontier_image () =
@@ -238,6 +244,71 @@ let prop_dag_forward_existential =
       in
       Nca_graph.Digraph.Term_graph.is_dag g)
 
+(* Random instances over {E/2, F/2} mixing constants and variables, for
+   the delta-decomposition property below. *)
+let delta_atom_gen =
+  QCheck.Gen.(
+    let term =
+      oneof
+        [
+          map (fun i -> Term.var (Printf.sprintf "v%d" (abs i mod 4))) int;
+          map (fun i -> Term.cst (Printf.sprintf "c%d" (abs i mod 3))) int;
+        ]
+    in
+    let* s = term in
+    let* t = term in
+    let* choice = bool in
+    return (if choice then Atom.app "E" [ s; t ] else Atom.app "F" [ s; t ]))
+
+let delta_instance_arb =
+  QCheck.make
+    QCheck.Gen.(map Instance.of_list (list_size (int_range 0 10) delta_atom_gen))
+
+let delta_rules =
+  Parser.parse_rules
+    {| succ: E(x,y) -> E(y,z).
+       tc: E(x,y), E(y,z) -> E(x,z).
+       mix: E(x,y), F(y,z) -> F(x,w). |}
+
+(* The pivot decomposition behind the semi-naive chase:
+   all_delta rules ~total ~delta enumerates exactly the triggers of
+   [total] that are not triggers of [total ∖ delta], each once. *)
+let prop_all_delta_is_set_difference =
+  QCheck.Test.make
+    ~name:"Trigger.all_delta = all(total) minus all(total∖delta)" ~count:500
+    (QCheck.pair delta_instance_arb delta_instance_arb) (fun (i1, i2) ->
+      let total = Instance.union i1 i2 in
+      let delta = i2 in
+      let old = Instance.diff total delta in
+      let keys trs = List.sort Trigger.Key.compare (List.map Trigger.key trs) in
+      let got = keys (Trigger.all_delta delta_rules ~total ~delta) in
+      let old_keys = keys (Trigger.all delta_rules old) in
+      let expected =
+        List.filter
+          (fun k -> not (List.exists (Trigger.Key.equal k) old_keys))
+          (keys (Trigger.all delta_rules total))
+      in
+      List.equal Trigger.Key.equal got expected)
+
+let test_seed_with_guard () =
+  let module D = Nca_chase.Datalog in
+  let x = Term.var "x" and y = Term.var "y" in
+  let pat = Atom.app "E" [ x; y ] in
+  (match D.seed_with pat (Atom.app "E" [ Term.cst "a"; Term.cst "b" ]) with
+  | Some s ->
+      check "binds x" true (Term.equal (Subst.apply s x) (Term.cst "a"));
+      check "binds y" true (Term.equal (Subst.apply s y) (Term.cst "b"))
+  | None -> Alcotest.fail "expected a seeding");
+  check "predicate mismatch is None (not an exception)" true
+    (D.seed_with pat (Atom.app "F" [ Term.cst "a"; Term.cst "b" ]) = None);
+  check "arity mismatch is None (not an exception)" true
+    (D.seed_with pat (Atom.app "E" [ Term.cst "a" ]) = None);
+  check "constant clash is None" true
+    (D.seed_with
+       (Atom.app "E" [ Term.cst "a"; y ])
+       (Atom.app "E" [ Term.cst "b"; Term.cst "c" ])
+    = None)
+
 let prop_offending_cycle_certificate =
   QCheck.Test.make ~name:"offending_cycle is a real special-edge cycle"
     ~count:100 rules_arb (fun rules ->
@@ -287,6 +358,7 @@ let props =
       prop_chase_monotone_in_depth;
       prop_chase_preserves_database;
       prop_dag_forward_existential;
+      prop_all_delta_is_set_difference;
       prop_offending_cycle_certificate;
     ]
 
@@ -329,5 +401,6 @@ let () =
           tc "certificate on a cyclic set" test_acyclicity_certificate_example;
           tc "no certificate on a weakly acyclic set" test_acyclicity_negative;
         ] );
+      ("datalog", [ tc "seed_with guards" test_seed_with_guard ]);
       ("properties", props);
     ]

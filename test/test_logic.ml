@@ -484,6 +484,82 @@ let prop_rename_apart_equiv =
       let i', _ = Instance.rename_apart ~avoid:Term.Set.empty i in
       Hom.hom_equiv i i')
 
+let prop_rename_apart_avoids =
+  QCheck.Test.make ~name:"rename_apart honors ~avoid" ~count:200
+    (QCheck.pair instance_arb instance_arb) (fun (i, j) ->
+      (* ask the renaming to avoid everything in [j] — including terms
+         that [fresh_var] would produce next, which is what a silently
+         ignored ~avoid gets wrong *)
+      let avoid = Term.Set.union (Instance.adom j) (Instance.adom i) in
+      let i', _ = Instance.rename_apart ~avoid i in
+      Term.Set.for_all
+        (fun t -> (not (Term.is_mappable t)) || not (Term.Set.mem t avoid))
+        (Instance.adom i'))
+
+(* An order-naive reference solver: no goal reordering, candidates by
+   predicate scan only. The indexed engine (positional index + fewest
+   candidates first) must enumerate exactly the same homomorphisms. *)
+let naive_match sub pat fact =
+  let rec go sub ps fs =
+    match (ps, fs) with
+    | [], [] -> Some sub
+    | s :: ps, t :: fs -> (
+        if not (Term.is_mappable s) then
+          if Term.equal s t then go sub ps fs else None
+        else
+          match Subst.find_opt s sub with
+          | Some u -> if Term.equal u t then go sub ps fs else None
+          | None -> go (Subst.add s t sub) ps fs)
+    | _ -> None
+  in
+  go sub (Atom.args pat) (Atom.args fact)
+
+let rec naive_homs sub pats tgt =
+  match pats with
+  | [] -> [ sub ]
+  | pat :: rest ->
+      List.concat_map
+        (fun fact ->
+          match naive_match sub pat fact with
+          | Some sub' -> naive_homs sub' rest tgt
+          | None -> [])
+        (Instance.with_pred (Atom.pred pat) tgt)
+
+let subst_compare s1 s2 =
+  List.compare
+    (fun (a, b) (c, d) ->
+      match Term.compare a c with 0 -> Term.compare b d | n -> n)
+    (Subst.bindings s1) (Subst.bindings s2)
+
+let pattern_arb =
+  QCheck.make QCheck.Gen.(list_size (int_range 1 3) atom_gen)
+
+let prop_hom_indexed_matches_naive =
+  QCheck.Test.make ~name:"indexed Hom.all/Hom.count agree with naive scan"
+    ~count:500
+    (QCheck.pair pattern_arb instance_arb)
+    (fun (pat, i) ->
+      let naive = List.sort subst_compare (naive_homs Subst.empty pat i) in
+      let indexed = List.sort subst_compare (Hom.all pat i) in
+      List.equal Subst.equal naive indexed
+      && List.length naive = Hom.count pat i)
+
+let prop_candidates_sound_and_pruning =
+  QCheck.Test.make ~name:"Instance.candidates over-approximates matches"
+    ~count:500
+    (QCheck.pair (QCheck.make atom_gen) instance_arb)
+    (fun (pat, i) ->
+      let cands = Instance.candidates pat Subst.empty i in
+      let by_pred = Instance.with_pred (Atom.pred pat) i in
+      (* sound: every atom matching the pattern is among the candidates *)
+      List.for_all
+        (fun fact ->
+          Option.is_none (naive_match Subst.empty pat fact)
+          || List.exists (Atom.equal fact) cands)
+        by_pred
+      (* never coarser than the predicate scan *)
+      && List.length cands <= List.length by_pred)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -494,6 +570,9 @@ let props =
       prop_hom_equiv_reflexive;
       prop_subst_apply_ground;
       prop_rename_apart_equiv;
+      prop_rename_apart_avoids;
+      prop_hom_indexed_matches_naive;
+      prop_candidates_sound_and_pruning;
     ]
 
 let tc name fn = Alcotest.test_case name `Quick fn
