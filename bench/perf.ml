@@ -310,6 +310,96 @@ let hom_workload ~reps (name, pattern, target) =
       ("speedup_x100", Json.Int (speedup_x100 ~before:before_us ~after:after_us));
     ]
 
+(* Interned-vs-reference comparator workloads: the same data pushed once
+   through the id-based comparators used on the hot paths and once
+   through the string-based structural comparators kept for output
+   ordering — the latter are the pre-interning reference semantics, so
+   the ratio is the direct cost of structural comparison the interning
+   layer removed. *)
+module Structural_set = Set.Make (struct
+  type t = Atom.t
+
+  let compare = Atom.compare_structural
+end)
+
+let intern_row name ~detail ~reps ~before ~after ~data_atoms =
+  let n_before, before_us = time_us ~reps before in
+  let n_after, after_us = time_us ~reps after in
+  check_eq ~workload:("intern/" ^ name) "result" n_before n_after;
+  Json.Obj
+    [
+      ("kind", Json.String "intern");
+      ("name", Json.String name);
+      ("detail", Json.String detail);
+      ("data_atoms", Json.Int data_atoms);
+      ("result", Json.Int n_after);
+      ("before_us", Json.Int before_us);
+      ("after_us", Json.Int after_us);
+      ("speedup_x100", Json.Int (speedup_x100 ~before:before_us ~after:after_us));
+    ]
+
+(* Hom-search flavor: the inner loop of matching is membership of a
+   candidate fact in an already-matched set. Probe an interned id-ordered
+   Atom.Set and a structurally-ordered reference set with the same
+   mixed hit/miss stream. *)
+let intern_membership_workload ~reps ~rounds target =
+  let facts = Instance.atoms target in
+  let misses =
+    List.filter_map
+      (fun a ->
+        match Atom.args a with
+        | [ s; t ] when not (Term.equal s t) ->
+            Some (Atom.make (Atom.pred a) [ t; s ])
+        | _ -> None)
+      facts
+    |> List.filter (fun a -> not (Instance.mem a target))
+  in
+  let probes = facts @ misses in
+  let interned = Instance.to_set target in
+  let structural =
+    Structural_set.of_list facts
+  in
+  let count mem =
+    let hits = ref 0 in
+    for _ = 1 to rounds do
+      List.iter (fun a -> if mem a then incr hits) probes
+    done;
+    !hits
+  in
+  intern_row "hom_membership"
+    ~detail:"set membership probes on chase output (matching inner loop)"
+    ~reps
+    ~before:(fun () -> count (fun a -> Structural_set.mem a structural))
+    ~after:(fun () -> count (fun a -> Atom.Set.mem a interned))
+    ~data_atoms:(List.length probes)
+
+(* Rewriting flavor: piece rewriting and minimization dedup candidate
+   bodies with sort_uniq after every unification step. Replay that dedup
+   over the bodies the rewriting actually produced. *)
+let intern_dedup_workload ~reps ~rounds ~max_rounds name =
+  let entry = Rulesets.find name in
+  let q = Cq.atom_query entry.e in
+  let out = Rewrite.rewrite ~max_rounds entry.rules q in
+  let bodies = List.map Cq.body (Ucq.disjuncts out.ucq) in
+  let pool = List.concat (bodies @ List.map List.rev bodies) in
+  let dedup cmp =
+    let n = ref 0 in
+    for _ = 1 to rounds do
+      List.iter
+        (fun body -> n := !n + List.length (List.sort_uniq cmp body))
+        bodies;
+      n := !n + List.length (List.sort_uniq cmp pool)
+    done;
+    !n
+  in
+  intern_row "rewrite_dedup"
+    ~detail:
+      (Fmt.str "sort_uniq over %s rewriting bodies (piece/minimize dedup)" name)
+    ~reps
+    ~before:(fun () -> dedup Atom.compare_structural)
+    ~after:(fun () -> dedup Atom.compare)
+    ~data_atoms:(List.length pool)
+
 (* Rewriting rides on the same Hom hot path; no separate naive engine is
    preserved for it, so these entries record the trajectory only. *)
 let rewrite_workload ~reps ~max_rounds name =
@@ -404,6 +494,17 @@ let run_all ~smoke =
       (rewrite_workload ~reps ~max_rounds:(if smoke then 4 else 8))
       [ "example1_bdd"; "symmetric"; "sticky"; "ucq_defined" ]
   in
+  let intern_rows =
+    [
+      intern_membership_workload ~reps
+        ~rounds:(if smoke then 5 else 200)
+        hom_target;
+      intern_dedup_workload ~reps
+        ~rounds:(if smoke then 5 else 500)
+        ~max_rounds:(if smoke then 4 else 8)
+        "example1_bdd";
+    ]
+  in
   Json.Obj
     [
       ("schema", Json.String "nocliques/bench_chase/v1");
@@ -413,10 +514,14 @@ let run_all ~smoke =
         Json.String
           "before = seed engines (predicate-scan Hom, full trigger \
            re-enumeration, string keys); after = positional-index Hom + \
-           delta-driven chase + structural keys. speedup_x100 = 100 * \
+           delta-driven chase + structural keys. intern rows: before = \
+           string-based structural comparators, after = interned id \
+           comparators on the same data. speedup_x100 = 100 * \
            before/after." );
       ( "workloads",
-        Json.List (chase_rows @ datalog_rows @ hom_rows @ rewrite_rows) );
+        Json.List
+          (chase_rows @ datalog_rows @ hom_rows @ rewrite_rows @ intern_rows)
+      );
     ]
 
 let summarize doc =

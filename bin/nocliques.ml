@@ -487,7 +487,9 @@ let zoo_cmd =
     | Some n ->
         let e = Rulesets.find n in
         Fmt.pr "# %s — %s@." e.name e.description;
-        Instance.iter (fun a -> Fmt.pr "%a.@." Atom.pp a) e.instance;
+        List.iter
+          (fun a -> Fmt.pr "%a.@." Atom.pp a)
+          (Instance.sorted_atoms e.instance);
         List.iter (fun r -> Fmt.pr "%a.@." Rule.pp r) e.rules);
     0
   in
@@ -501,6 +503,77 @@ let zoo_cmd =
     (Cmd.info "zoo" ~doc:"List or dump the built-in rule sets.")
     Cterm.(const run $ name_arg)
 
+let intern_stats_cmd =
+  let run file =
+    let prog = load file in
+    (* bytes the program would carry without interning: one string per
+       name occurrence, vs one per distinct name in the table *)
+    let seen = Hashtbl.create 64 in
+    let name_bytes id =
+      Hashtbl.replace seen id ();
+      String.length (Names.name id)
+    in
+    let term_bytes t =
+      match t with
+      | Term.Var id | Term.Cst id -> name_bytes id
+      | Term.Null _ -> 0
+    in
+    let atom_bytes a =
+      name_bytes (Symbol.name_id (Atom.pred a))
+      + List.fold_left (fun acc t -> acc + term_bytes t) 0 (Atom.args a)
+    in
+    let occurrence_bytes =
+      Instance.fold (fun a acc -> acc + atom_bytes a) prog.Parser.facts 0
+      + List.fold_left
+          (fun acc r ->
+            List.fold_left
+              (fun acc a -> acc + atom_bytes a)
+              acc
+              (Rule.body r @ Rule.head r))
+          0 prog.Parser.rules
+      + List.fold_left
+          (fun acc q ->
+            List.fold_left
+              (fun acc a -> acc + atom_bytes a)
+              (List.fold_left
+                 (fun acc t -> acc + term_bytes t)
+                 acc (Cq.answer q))
+              (Cq.body q))
+          0 prog.Parser.queries
+    in
+    let names = Names.count () in
+    let unique_bytes = Names.live_bytes () in
+    Fmt.pr "intern tables after loading %s:@." file;
+    Fmt.pr "  names    %6d interned, max id %d, %d bytes@." names (names - 1)
+      unique_bytes;
+    Fmt.pr "  symbols  %6d interned, max id %d@." (Symbol.count ())
+      (Symbol.count () - 1);
+    Fmt.pr "  atoms    %6d hash-consed, max id %d@." (Atom.count ())
+      (Atom.count () - 1);
+    let distinct_bytes =
+      Hashtbl.fold
+        (fun id () acc -> acc + String.length (Names.name id))
+        seen 0
+    in
+    Fmt.pr
+      "  program  %6d name-occurrence bytes over %d distinct names (%d \
+       bytes) — %d saved by sharing@."
+      occurrence_bytes (Hashtbl.length seen) distinct_bytes
+      (occurrence_bytes - distinct_bytes);
+    0
+  in
+  Cmd.v
+    (Cmd.info "intern-stats"
+       ~doc:
+         "Load a program and report intern-table statistics (name, symbol \
+          and atom counts, max ids, bytes saved by sharing).")
+    Cterm.(const run $ file_arg)
+
+let debug_cmd =
+  Cmd.group
+    (Cmd.info "debug" ~doc:"Introspection helpers for the engine internals.")
+    [ intern_stats_cmd ]
+
 let () =
   let doc = "the No-Cliques-Allowed toolkit for existential rules" in
   let info = Cmd.info "nocliques" ~version:"1.0.0" ~doc in
@@ -509,7 +582,7 @@ let () =
       Cmd.eval' (Cmd.group info
         [ chase_cmd; rewrite_cmd; properties_cmd; lint_cmd; surgery_cmd;
           analyze_cmd; tournament_cmd; classes_cmd; finite_cmd; dot_cmd;
-          zoo_cmd ])
+          zoo_cmd; debug_cmd ])
     with
     | Pipeline.Stage_error { stage; reason } ->
         Fmt.epr "surgery stage %s failed: %s@." stage reason;

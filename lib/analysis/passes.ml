@@ -77,7 +77,7 @@ let unsafe_head_vars p =
           (D.make ~code:"NCA003" ~severity:D.Info ~location:(rule_site i r)
              ~certificate:
                (Fmt.str "existential variables: %a" pp_vars
-                  (Term.Set.elements ev))
+                  (Term.sorted_elements ev))
              ~hint:
                "intended? every firing invents fresh nulls; a Datalog rule \
                 must use only body variables in its head"
@@ -85,7 +85,7 @@ let unsafe_head_vars p =
                 "head variable%s %a %s not occur in the body — existentially \
                  quantified (§2.1)"
                 (if Term.Set.cardinal ev > 1 then "s" else "")
-                pp_vars (Term.Set.elements ev)
+                pp_vars (Term.sorted_elements ev)
                 (if Term.Set.cardinal ev > 1 then "do" else "does"))))
     (indexed_rules p)
 
@@ -137,7 +137,7 @@ let dead_rules p =
              ~certificate:
                (Fmt.str "underivable body predicates: %a"
                   Fmt.(list ~sep:(any ", ") Symbol.pp)
-                  (Symbol.Set.elements missing))
+                  (Symbol.sorted_elements missing))
              ~hint:
                "add a fact or rule deriving the predicate, or delete the \
                 dead rule"
@@ -145,7 +145,7 @@ let dead_rules p =
                 "rule can never fire: %a is derived by no rule and provided \
                  by no fact or input predicate"
                 Fmt.(list ~sep:(any ", ") Symbol.pp)
-                (Symbol.Set.elements missing))))
+                (Symbol.sorted_elements missing))))
     (indexed_rules p)
 
 (* ------------------------------------------------------------------ *)
@@ -186,7 +186,9 @@ let unused_predicates (p : Parser.program) =
 let rule_as_cq r =
   if not (Rule.is_datalog r) then None
   else
-    let heads = List.sort Atom.compare (Rule.head r) in
+    (* structural order: the comparison key (head predicate names) must
+       canonicalize identically for rules built at different times *)
+    let heads = List.sort Atom.compare_structural (Rule.head r) in
     let preds = List.map Atom.pred heads in
     let rec has_dup = function
       | [] -> false
@@ -357,8 +359,10 @@ let existential_cascade (p : Parser.program) =
     (fun (i, r) ->
       if Rule.is_datalog r then None
       else
-        let body = Symbol.Set.elements (preds_of_atoms (Rule.body r)) in
-        let head = Symbol.Set.elements (preds_of_atoms (Rule.head r)) in
+        (* name order: the first feedback pair found is printed in the
+           certificate, so the scan order must be byte-stable *)
+        let body = Symbol.sorted_elements (preds_of_atoms (Rule.body r)) in
+        let head = Symbol.sorted_elements (preds_of_atoms (Rule.head r)) in
         let feedback =
           List.concat_map
             (fun hp ->

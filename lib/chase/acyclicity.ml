@@ -17,10 +17,12 @@ let dependency_graph rules =
   List.concat_map
     (fun r ->
       let body = Rule.body r and head = Rule.head r in
-      let frontier = Rule.frontier r in
-      let exist = Rule.exist_vars r in
-      Term.Set.fold
-        (fun x acc ->
+      (* name order: the edge list order decides which special cycle is
+         reported first, so keep it independent of intern-id order *)
+      let frontier = Term.sorted_elements (Rule.frontier r) in
+      let exist = Term.sorted_elements (Rule.exist_vars r) in
+      List.fold_left
+        (fun acc x ->
           let body_positions = positions_of_var body x in
           let head_positions = positions_of_var head x in
           let regular =
@@ -32,8 +34,8 @@ let dependency_graph rules =
               body_positions
           in
           let special =
-            Term.Set.fold
-              (fun z acc ->
+            List.fold_left
+              (fun acc z ->
                 List.concat_map
                   (fun source ->
                     List.map
@@ -41,17 +43,20 @@ let dependency_graph rules =
                       (positions_of_var head z))
                   body_positions
                 @ acc)
-              exist []
+              [] exist
           in
           regular @ special @ acc)
-        frontier [])
+        [] frontier)
     rules
 
 module PG = Nca_graph.Digraph.Make (struct
   type t = position
 
+  (* name order (not id order): the DFS of [offending_cycle] visits
+     successors in this order, and the reconstructed path is printed in
+     lint certificates, so it must be byte-stable across runs *)
   let compare (p, i) (q, j) =
-    match Symbol.compare p q with 0 -> Int.compare i j | c -> c
+    match Symbol.compare_names p q with 0 -> Int.compare i j | c -> c
 
   let pp ppf (p, i) = Fmt.pf ppf "%a.%d" Symbol.pp_name p i
 end)

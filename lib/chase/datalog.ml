@@ -32,6 +32,15 @@ let seed_with atom fact =
             end)
       (Some Subst.empty) (Atom.args atom) (Atom.args fact)
 
+(* In-round store of freshly derived atoms: hash-consed atoms hash and
+   compare in O(1), so use them directly instead of polymorphic hashing. *)
+module Atom_tbl = Hashtbl.Make (struct
+  type t = Atom.t
+
+  let equal = Atom.equal
+  let hash = Atom.hash
+end)
+
 (* One semi-naive round: every homomorphism of a rule body into [total]
    that uses at least one [delta] atom, via the same pivot stratification
    as [Trigger.all_delta] — body positions before the pivot range over
@@ -41,7 +50,7 @@ let seed_with atom fact =
    boundary. *)
 let round rules ~total ~delta =
   let old = Instance.diff total delta in
-  let fresh : (Atom.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let fresh : unit Atom_tbl.t = Atom_tbl.create 64 in
   List.iter
     (fun rule ->
       let body = Rule.body rule in
@@ -63,12 +72,12 @@ let round rules ~total ~delta =
                   let derived = Subst.apply_atom h head_atom in
                   if
                     (not (Instance.mem derived total))
-                    && not (Hashtbl.mem fresh derived)
-                  then Hashtbl.add fresh derived ())
+                    && not (Atom_tbl.mem fresh derived)
+                  then Atom_tbl.add fresh derived ())
                 head))
         body)
     rules;
-  Hashtbl.fold (fun a () acc -> Instance.add a acc) fresh Instance.empty
+  Atom_tbl.fold (fun a () acc -> Instance.add a acc) fresh Instance.empty
 
 let saturate_steps ?(max_rounds = 10000) ?(max_atoms = 1_000_000) start rules
     =

@@ -41,7 +41,9 @@ let assignments vars domain =
 
 let search ?(fresh = 2) ?(max_steps = 200000) ?forbid start rules =
   let domain =
-    Term.Set.elements (Instance.adom start)
+    (* name order: the DFS tries domain elements in list order, so the
+       model found must not depend on intern-id order *)
+    Term.sorted_elements (Instance.adom start)
     @ List.init fresh (fun i -> Term.cst (Fmt.str "_m%d" i))
   in
   let steps = ref 0 in
@@ -55,7 +57,7 @@ let search ?(fresh = 2) ?(max_steps = 200000) ?forbid start rules =
     | None -> Some inst
     | Some tr ->
         let rule = tr.Trigger.rule in
-        let exist = Term.Set.elements (Rule.exist_vars rule) in
+        let exist = Term.sorted_elements (Rule.exist_vars rule) in
         let candidates = assignments exist domain in
         List.find_map
           (fun assignment ->

@@ -3,31 +3,32 @@ open Nca_logic
 type t = { rule : Rule.t; hom : Subst.t }
 
 module Key = struct
-  type t = { rule : string; bindings : Term.t list }
+  (* [rule] is the interned name id, [bindings] compare by int code:
+     key equality, comparison and hashing never touch a string. *)
+  type t = { rule : int; bindings : Term.t list }
 
   let equal a b =
-    String.equal a.rule b.rule
-    && List.equal Term.equal a.bindings b.bindings
+    Int.equal a.rule b.rule && List.equal Term.equal a.bindings b.bindings
 
   let compare a b =
-    match String.compare a.rule b.rule with
+    match Int.compare a.rule b.rule with
     | 0 -> List.compare Term.compare a.bindings b.bindings
     | c -> c
 
   (* [Hashtbl.hash] stops after a few nodes, which collides badly on long
      binding lists differing only in their tail; fold the whole list. *)
   let hash k =
-    List.fold_left
-      (fun h t -> (h * 31) + Hashtbl.hash t)
-      (Hashtbl.hash k.rule) k.bindings
+    List.fold_left (fun h t -> (h * 31) + Term.hash t) k.rule k.bindings
 
   let pp ppf k =
-    Fmt.pf ppf "%s|%a" k.rule Fmt.(list ~sep:(any "|") Term.pp) k.bindings
+    Fmt.pf ppf "%s|%a" (Names.name k.rule)
+      Fmt.(list ~sep:(any "|") Term.pp)
+      k.bindings
 end
 
 let make_key rule vars hom =
   {
-    Key.rule = Rule.name rule;
+    Key.rule = Names.intern (Rule.name rule);
     bindings = List.map (Subst.apply hom) (Term.Set.elements vars);
   }
 
@@ -66,9 +67,11 @@ let all_delta rules ~total ~delta =
 
 let output tr =
   let ext =
-    Term.Set.fold
-      (fun z acc -> Subst.add z (Term.fresh_null ()) acc)
-      (Rule.exist_vars tr.rule) tr.hom
+    (* name order: null numbering is assigned deterministically *)
+    List.fold_left
+      (fun acc z -> Subst.add z (Term.fresh_null ()) acc)
+      tr.hom
+      (Term.sorted_elements (Rule.exist_vars tr.rule))
   in
   (Instance.of_list (Subst.apply_atoms ext (Rule.head tr.rule)), ext)
 

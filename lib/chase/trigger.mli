@@ -7,12 +7,13 @@ open Nca_logic
 
 type t = { rule : Rule.t; hom : Subst.t }
 
-(** Structural trigger identity: the rule's name together with the
-    ordered images of a variable set. Hashable — the chase stores fired
-    triggers in a [Hashtbl.Make (Trigger.Key)] — without formatting
-    anything to a string. *)
+(** Structural trigger identity: the rule's name (as an interned
+    {!Names} id) together with the ordered images of a variable set.
+    Hashable — the chase stores fired triggers in a
+    [Hashtbl.Make (Trigger.Key)] — with equality, comparison and
+    hashing all pure int arithmetic. *)
 module Key : sig
-  type t = { rule : string; bindings : Term.t list }
+  type t = { rule : int; bindings : Term.t list }
 
   val equal : t -> t -> bool
   val compare : t -> t -> int

@@ -262,7 +262,9 @@ let random_instance ~seed ~constants ~atoms sign =
     Array.init (max 1 constants) (fun i -> Term.cst (Fmt.str "c%d" i))
   in
   let preds =
-    Symbol.Set.elements
+    (* name order: [List.nth] over this list consumes the seeded random
+       stream, so the order must not depend on intern-id order *)
+    Symbol.sorted_elements
       (Symbol.Set.filter (fun p -> not (Symbol.equal p Symbol.top)) sign)
   in
   match preds with

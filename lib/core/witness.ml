@@ -79,7 +79,10 @@ let ts_multiset t inst =
 let peak_of q =
   let maxima = Valley.maximal_vars q in
   let answers = Cq.answer_vars q in
-  Term.Set.choose_opt (Term.Set.diff maxima answers)
+  (* first in name order, so the reported peak is byte-stable *)
+  match Term.sorted_elements (Term.Set.diff maxima answers) with
+  | [] -> None
+  | t :: _ -> Some t
 
 let remove_peaks t s tt (q0, h0) =
   let find_witness inst =

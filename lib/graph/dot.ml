@@ -40,12 +40,12 @@ let of_cq ?(name = "query") q =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Fmt.str "digraph \"%s\" {\n" (escape name));
   let answers = Cq.answer_vars q in
-  Term.Set.iter
+  List.iter
     (fun v ->
       let shape = if Term.Set.mem v answers then "box" else "ellipse" in
       Buffer.add_string buf
         (Fmt.str "  \"%s\" [shape=%s];\n" (node_id v) shape))
-    (Cq.vars q);
+    (Term.sorted_elements (Cq.vars q));
   List.iter
     (fun a ->
       match Atom.as_edge a with

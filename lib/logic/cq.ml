@@ -33,9 +33,11 @@ let rename_apart ?(avoid = Term.Set.empty) q =
     if Term.Set.mem v avoid then fresh_avoiding () else v
   in
   let renaming =
-    Term.Set.fold
-      (fun x acc -> Subst.add x (fresh_avoiding ()) acc)
-      (vars q) Subst.empty
+    (* name order: fresh names are assigned deterministically *)
+    List.fold_left
+      (fun acc x -> Subst.add x (fresh_avoiding ()) acc)
+      Subst.empty
+      (Term.sorted_elements (vars q))
   in
   apply renaming q
 

@@ -5,12 +5,16 @@
    of k indexed sets instead of every atom of the predicate. *)
 
 module Pos = struct
-  type t = Symbol.t * int * Term.t
+  (* (symbol id, argument position, term code): a pure int triple, so
+     the positional map never touches a string. *)
+  type t = int * int * int
 
   let compare (p1, i1, t1) (p2, i2, t2) =
-    match Symbol.compare p1 p2 with
-    | 0 -> ( match Int.compare i1 i2 with 0 -> Term.compare t1 t2 | c -> c)
+    match Int.compare p1 p2 with
+    | 0 -> ( match Int.compare i1 i2 with 0 -> Int.compare t1 t2 | c -> c)
     | c -> c
+
+  let key p i t = (Symbol.id p, i, Term.code t)
 end
 
 module Pos_map = Map.Make (Pos)
@@ -34,7 +38,7 @@ let update_pos f a pos =
   let p = Atom.pred a in
   snd
     (List.fold_left
-       (fun (i, pos) t -> (i + 1, f (p, i, t) pos))
+       (fun (i, pos) t -> (i + 1, f (Pos.key p i t) pos))
        (0, pos) (Atom.args a))
 
 let add a i =
@@ -144,7 +148,7 @@ let candidate_count a sub i =
   let p = Atom.pred a in
   List.fold_left
     (fun best (pos, t) ->
-      min best (Atom.Set.cardinal (pos_find (p, pos, t) i)))
+      min best (Atom.Set.cardinal (pos_find (Pos.key p pos t) i)))
     (pred_cardinal p i) (bound_positions a sub)
 
 let candidates a sub i =
@@ -156,12 +160,12 @@ let candidates a sub i =
          the intersection stays a superset of the true matches (repeated
          variables are only checked by the matcher), but every bound
          position cuts the scan down to atoms agreeing with it. *)
-      let start = pos_find (p, pos0, t0) i in
+      let start = pos_find (Pos.key p pos0 t0) i in
       let set =
         List.fold_left
           (fun acc (pos, t) ->
             if Atom.Set.is_empty acc then acc
-            else Atom.Set.inter acc (pos_find (p, pos, t) i))
+            else Atom.Set.inter acc (pos_find (Pos.key p pos t) i))
           start rest
       in
       Atom.Set.elements set
@@ -182,16 +186,19 @@ let rename_apart ~avoid i =
     if Term.Set.mem v avoid then fresh_avoiding () else v
   in
   let renaming =
-    Term.Set.fold
-      (fun t acc ->
+    (* iterate in name order so generated names are assigned
+       deterministically, independent of intern-id order *)
+    List.fold_left
+      (fun acc t ->
         if Term.is_mappable t then Subst.add t (fresh_avoiding ()) acc
         else acc)
-      (adom i) Subst.empty
+      Subst.empty
+      (Term.sorted_elements (adom i))
   in
   (apply renaming i, renaming)
 
 let critical sign =
-  let star = Term.Cst "*" in
+  let star = Term.cst "*" in
   Symbol.Set.fold
     (fun p acc ->
       add (Atom.make p (List.init (Symbol.arity p) (fun _ -> star))) acc)
@@ -200,7 +207,9 @@ let critical sign =
 let generalize i =
   map_terms
     (fun t ->
-      match t with Term.Cst c -> Term.var ("g!" ^ c) | Term.Var _ | Term.Null _ -> t)
+      match t with
+      | Term.Cst c -> Term.var ("g!" ^ Names.name c)
+      | Term.Var _ | Term.Null _ -> t)
     i
 
 let disjoint_union a b =
@@ -210,5 +219,7 @@ let disjoint_union a b =
 let edges p i =
   List.filter_map Atom.as_edge (with_pred p i)
 
+let sorted_atoms i = Atom.sorted_elements i.atoms
+
 let pp ppf i =
-  Fmt.pf ppf "{@[<hov>%a@]}" Fmt.(list ~sep:comma Atom.pp) (atoms i)
+  Fmt.pf ppf "{@[<hov>%a@]}" Fmt.(list ~sep:comma Atom.pp) (sorted_atoms i)

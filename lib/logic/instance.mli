@@ -15,7 +15,15 @@ val top : t
 val add : Atom.t -> t -> t
 val remove : Atom.t -> t -> t
 val of_list : Atom.t list -> t
+
 val atoms : t -> Atom.t list
+(** Atoms in id order (fast, arbitrary). Use {!sorted_atoms} where the
+    order reaches output. *)
+
+val sorted_atoms : t -> Atom.t list
+(** Atoms in {!Atom.compare_structural} order, for deterministic
+    output. *)
+
 val to_set : t -> Atom.Set.t
 
 val mem : Atom.t -> t -> bool

@@ -1,0 +1,73 @@
+(* Global intern table mapping strings to dense integer ids.
+
+   Every name that enters the system — parsed identifiers, generated
+   fresh variables, predicate names — is registered here exactly once;
+   [Term.t] and [Symbol.t] then carry the dense id instead of the
+   string, so equality, comparison and hashing downstream are integer
+   operations. The table only grows: ids are never recycled, which is
+   what makes them safe to use as array indices and hash keys across
+   the whole lifetime of the process. *)
+
+let initial = 1024
+let table : (string, int) Hashtbl.t = Hashtbl.create initial
+let store = ref (Array.make initial "")
+let next = ref 0
+
+let ensure n =
+  let cap = Array.length !store in
+  if n > cap then begin
+    let grown = Array.make (max (2 * cap) n) "" in
+    Array.blit !store 0 grown 0 !next;
+    store := grown
+  end
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+      let id = !next in
+      ensure (id + 1);
+      !store.(id) <- s;
+      Hashtbl.add table s id;
+      incr next;
+      id
+
+let name id =
+  if id < 0 || id >= !next then
+    invalid_arg (Printf.sprintf "Names.name: unknown id %d" id);
+  !store.(id)
+
+let known s = Hashtbl.mem table s
+let count () = !next
+let live_bytes () = Hashtbl.fold (fun s _ acc -> acc + String.length s) table 0
+
+let compare_names a b =
+  if Int.equal a b then 0 else String.compare (name a) (name b)
+
+(* Fresh-name generation.
+
+   A single counter shared by all prefixes replicates the historical
+   [Term.fresh_var] numbering (e.g. [_enc1], [_enc2], then [_v3]), which
+   downstream golden tests depend on. Unlike the historical scheme the
+   generated name is checked against the intern table and skipped if a
+   user program already claimed it, so freshness holds by construction
+   rather than by the [_]-prefix convention alone. *)
+let gen = ref 0
+
+let fresh ?(prefix = "v") () =
+  let rec attempt () =
+    incr gen;
+    let s = Printf.sprintf "_%s%d" prefix !gen in
+    if Hashtbl.mem table s then attempt () else intern s
+  in
+  attempt ()
+
+(* Labelled nulls are numbered, not named; they share the "only ever
+   incremented" discipline so chase runs never reuse a null. *)
+let null_gen = ref 0
+
+let fresh_null_id () =
+  incr null_gen;
+  !null_gen
+
+let is_reserved s = String.length s > 0 && s.[0] = '_'

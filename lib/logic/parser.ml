@@ -117,30 +117,41 @@ let make_lexer input =
 let expect lx tok what =
   if lx.tok = tok then advance lx else error lx (Fmt.str "expected %s" what)
 
-(* Arity bookkeeping: a predicate's arity is fixed by its first use. *)
-type env = { mutable arities : int Symbol.Map.t }
+(* Arity bookkeeping: a predicate's arity is fixed by its first use.
+   Keyed on the interned name id, so the lookup is a pure int-map read. *)
+module Name_map = Map.Make (Int)
+
+type env = { mutable arities : Symbol.t Name_map.t }
 
 let symbol ~at env name arity =
-  let candidate = Symbol.make name arity in
-  match
-    Symbol.Map.fold
-      (fun p a acc ->
-        if String.equal (Symbol.name p) name then Some (p, a) else acc)
-      env.arities None
-  with
-  | Some (p, a) when a = arity -> p
-  | Some (_, a) ->
+  let nid = Names.intern name in
+  match Name_map.find_opt nid env.arities with
+  | Some p when Symbol.arity p = arity -> p
+  | Some p ->
       error_at at
-        (Fmt.str "predicate %s used with arities %d and %d" name a arity)
+        (Fmt.str "predicate %s used with arities %d and %d" name
+           (Symbol.arity p) arity)
   | None ->
-      env.arities <- Symbol.Map.add candidate arity env.arities;
-      candidate
+      let p = Symbol.make name arity in
+      env.arities <- Name_map.add nid p env.arities;
+      p
 
 let is_pred_name name = name.[0] >= 'A' && name.[0] <= 'Z'
+
+(* The [_] prefix is reserved for generated names (fresh variables,
+   encoding artefacts): a user identifier there could alias a generated
+   one mid-pipeline, so source programs must stay out of it. *)
+let check_not_reserved lx name =
+  if Names.is_reserved name then
+    error lx
+      (Fmt.str
+         "identifier %s is in the reserved '_' namespace (generated names)"
+         name)
 
 let parse_term lx ~const =
   match lx.tok with
   | Ident name when not (is_pred_name name) ->
+      check_not_reserved lx name;
       advance lx;
       if const then Term.cst name else Term.var name
   | Ident name -> error lx (Fmt.str "expected a term, got predicate %s" name)
@@ -218,6 +229,7 @@ let parse_statement lx env =
       `Query q
   | Ident name when not (is_pred_name name) ->
       (* rule label *)
+      check_not_reserved lx name;
       advance lx;
       expect lx Colon "':'";
       let body = parse_atom_list lx env ~const:false in
@@ -252,7 +264,7 @@ let parse_statement lx env =
 
 let parse_program input =
   let lx = make_lexer input in
-  let env = { arities = Symbol.Map.empty } in
+  let env = { arities = Name_map.empty } in
   let rec go facts rules queries =
     match lx.tok with
     | Eof ->
@@ -297,7 +309,7 @@ let rule input =
 
 let instance input =
   let lx = make_lexer input in
-  let env = { arities = Symbol.Map.empty } in
+  let env = { arities = Name_map.empty } in
   let atoms = parse_atom_list lx env ~const:true in
   if lx.tok = Dot then advance lx;
   if lx.tok <> Eof then error lx "trailing input";
@@ -305,7 +317,7 @@ let instance input =
 
 let query input =
   let lx = make_lexer input in
-  let env = { arities = Symbol.Map.empty } in
+  let env = { arities = Name_map.empty } in
   if lx.tok <> Question then error lx "expected '?'";
   let q = parse_query_body lx env in
   if lx.tok = Dot then advance lx;

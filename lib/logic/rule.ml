@@ -38,10 +38,12 @@ let is_datalog r = Term.Set.is_empty (exist_vars r)
 
 let rename ?name r =
   let renaming =
-    Term.Set.fold
-      (fun x acc -> Subst.add x (Term.fresh_var ()) acc)
-      (Term.Set.union (body_vars r) (head_vars r))
+    (* name order: fresh names are assigned in a deterministic order,
+       independent of intern-id order *)
+    List.fold_left
+      (fun acc x -> Subst.add x (Term.fresh_var ()) acc)
       Subst.empty
+      (Term.sorted_elements (Term.Set.union (body_vars r) (head_vars r)))
   in
   {
     name = Option.value name ~default:r.name;
@@ -79,6 +81,6 @@ let pp ppf r =
   else
     Fmt.pf ppf "@[<hov 2>%s: %a ->@ ∃%a. %a@]" r.name Atom.pp_list r.body
       Fmt.(list ~sep:comma Term.pp)
-      (Term.Set.elements ev) Atom.pp_list r.head
+      (Term.sorted_elements ev) Atom.pp_list r.head
 
 let pp_set ppf rules = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp) rules

@@ -3,24 +3,43 @@
     A symbol is a predicate name together with its arity. Following the
     paper's preliminaries, every predicate [P] comes with a fixed arity
     [ar(P) >= 0]; a {e signature} is a set of predicates
-    (see {!module:Signature} helpers below). *)
+    (see {!module:Signature} helpers below).
 
-type t = private { name : string; arity : int }
+    Symbols are interned: [make] returns the unique symbol for a given
+    (name, arity) pair, and [equal]/[compare]/[hash] are O(1) integer
+    operations on its dense id. *)
+
+type t
 
 val make : string -> int -> t
-(** [make name arity] builds a predicate symbol. Raises [Invalid_argument]
-    if [arity < 0] or [name] is empty. *)
+(** [make name arity] builds (or retrieves) a predicate symbol. Raises
+    [Invalid_argument] if [arity < 0] or [name] is empty. *)
 
 val name : t -> string
 val arity : t -> int
+
+val name_id : t -> int
+(** The {!Names} id of the symbol's name. *)
+
+val id : t -> int
+(** The dense symbol id ([0 .. count () - 1]); doubles as the hash. *)
+
+val count : unit -> int
+(** Number of distinct symbols interned so far. *)
 
 val top : t
 (** The nullary predicate [⊤] that, by convention (Section 2.1), belongs to
     every instance. *)
 
 val compare : t -> t -> int
+(** Total order on ids — O(1), but unrelated to name order. Use
+    {!compare_names} where output byte-stability matters. *)
+
 val equal : t -> t -> bool
 val hash : t -> int
+
+val compare_names : t -> t -> int
+(** The historical structural order: by name string, then arity. *)
 
 val pp : t Fmt.t
 (** Prints as [name/arity]. *)
@@ -30,6 +49,9 @@ val pp_name : t Fmt.t
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+val sorted_elements : Set.t -> t list
+(** Elements in {!compare_names} order, for deterministic output. *)
 
 val is_binary_signature : Set.t -> bool
 (** [is_binary_signature s] holds when every predicate in [s] has arity at

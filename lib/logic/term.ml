@@ -1,10 +1,10 @@
 type t =
-  | Var of string
-  | Cst of string
+  | Var of int
+  | Cst of int
   | Null of int
 
-let var v = Var v
-let cst c = Cst c
+let var v = Var (Names.intern v)
+let cst c = Cst (Names.intern c)
 let null n = Null n
 
 let is_var = function Var _ -> true | Cst _ | Null _ -> false
@@ -12,35 +12,39 @@ let is_cst = function Cst _ -> true | Var _ | Null _ -> false
 let is_null = function Null _ -> true | Var _ | Cst _ -> false
 let is_mappable = function Var _ | Null _ -> true | Cst _ -> false
 
-let var_counter = ref 0
-let null_counter = ref 0
-
-let fresh_var ?(prefix = "v") () =
-  incr var_counter;
-  Var (Printf.sprintf "_%s%d" prefix !var_counter)
-
-let fresh_null () =
-  incr null_counter;
-  Null !null_counter
-
-let refresh () =
-  var_counter := 0;
-  null_counter := 0
+let fresh_var ?(prefix = "v") () = Var (Names.fresh ~prefix ())
+let fresh_null () = Null (Names.fresh_null_id ())
 
 let kind_rank = function Var _ -> 0 | Cst _ -> 1 | Null _ -> 2
 
-let compare a b =
+(* Injective int encoding of a term: id in the high bits, kind in the
+   low two. Used as hash, comparison key and positional-index key. *)
+let code = function
+  | Var id -> id lsl 2
+  | Cst id -> (id lsl 2) lor 1
+  | Null n -> (n lsl 2) lor 2
+
+let compare a b = Int.compare (code a) (code b)
+
+let equal a b =
   match (a, b) with
-  | Var x, Var y -> String.compare x y
-  | Cst x, Cst y -> String.compare x y
+  | Var x, Var y | Cst x, Cst y | Null x, Null y -> Int.equal x y
+  | (Var _ | Cst _ | Null _), _ -> false
+
+let hash = code
+
+let compare_names a b =
+  match (a, b) with
+  | Var x, Var y | Cst x, Cst y -> Names.compare_names x y
   | Null x, Null y -> Int.compare x y
   | _ -> Int.compare (kind_rank a) (kind_rank b)
 
-let equal a b = compare a b = 0
+let name = function
+  | Var id | Cst id -> Names.name id
+  | Null n -> Printf.sprintf "_:n%d" n
 
 let pp ppf = function
-  | Var v -> Fmt.string ppf v
-  | Cst c -> Fmt.string ppf c
+  | Var id | Cst id -> Fmt.string ppf (Names.name id)
   | Null n -> Fmt.pf ppf "_:n%d" n
 
 module Ord = struct
@@ -52,5 +56,7 @@ end
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
 
+let sorted_elements s = List.sort compare_names (Set.elements s)
+
 let pp_set ppf s =
-  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp) (Set.elements s)
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp) (sorted_elements s)

@@ -7,12 +7,16 @@
     - {!Cst}: named elements of databases (rigid under homomorphisms);
     - {!Null}: fresh labelled nulls invented by the chase.
 
-    Homomorphisms may move [Var] and [Null] terms but fix every [Cst]. *)
+    Homomorphisms may move [Var] and [Null] terms but fix every [Cst].
+
+    Variables and constants carry a dense {!Names} id rather than the
+    string itself, so [equal]/[compare]/[hash] are integer operations;
+    the name is resolved from the intern table only at [pp] time. *)
 
 type t =
-  | Var of string
-  | Cst of string
-  | Null of int
+  | Var of int  (** {!Names} id of the variable name *)
+  | Cst of int  (** {!Names} id of the constant name *)
+  | Null of int  (** labelled-null number (not a name id) *)
 
 val var : string -> t
 val cst : string -> t
@@ -28,20 +32,38 @@ val is_mappable : t -> bool
 
 val fresh_var : ?prefix:string -> unit -> t
 (** A globally fresh variable (gensym). The optional [prefix] is kept in the
-    generated name for readability. *)
+    generated name for readability. Fresh names live in the reserved
+    [_]-prefix namespace and skip names already interned, so they cannot
+    collide with user identifiers. *)
 
 val fresh_null : unit -> t
 (** A globally fresh labelled null. *)
 
-val refresh : unit -> unit
-(** Reset both gensym counters. Only for use in test set-up, where
-    reproducible names matter. *)
+val code : t -> int
+(** Injective encoding of a term as a single int (id and kind); doubles
+    as the hash and as the positional-index key. *)
 
 val compare : t -> t -> int
+(** Total order on the int {!code} — O(1), but unrelated to name order.
+    Use {!compare_names} where output byte-stability matters. *)
+
 val equal : t -> t -> bool
+val hash : t -> int
+
+val compare_names : t -> t -> int
+(** The historical structural order: by kind (Var < Cst < Null), then by
+    name string (or null number). Used at output and name-generation
+    boundaries so printed artefacts stay byte-identical. *)
+
+val name : t -> string
+(** The printed form: the interned name, or ["_:n<k>"] for nulls. *)
+
 val pp : t Fmt.t
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+val sorted_elements : Set.t -> t list
+(** Elements in {!compare_names} order, for deterministic output. *)
 
 val pp_set : Set.t Fmt.t

@@ -15,7 +15,7 @@ let for_query ?max_rounds ?max_disjuncts rules q =
   }
 
 let for_signature ?max_rounds ?max_disjuncts rules sign =
-  Symbol.Set.elements sign
+  Symbol.sorted_elements sign
   |> List.filter (fun p -> not (Symbol.equal p Symbol.top))
   |> List.map (fun p -> for_query ?max_rounds ?max_disjuncts rules (Cq.atom_query p))
 

@@ -10,7 +10,7 @@ let canonical_database q =
     Term.Set.fold
       (fun v acc ->
         match v with
-        | Term.Var name -> Subst.add v (Term.cst ("k!" ^ name)) acc
+        | Term.Var name -> Subst.add v (Term.cst ("k!" ^ Names.name name)) acc
         | Term.Null n -> Subst.add v (Term.cst (Fmt.str "k!n%d" n)) acc
         | Term.Cst _ -> acc)
       (Cq.vars q) Subst.empty
@@ -39,7 +39,8 @@ let minimize q =
     in
     match first 0 with None -> body | Some smaller -> shrink smaller
   in
-  Cq.make ~answer:(Cq.answer q) (shrink (List.sort_uniq Atom.compare (Cq.body q)))
+  Cq.make ~answer:(Cq.answer q)
+    (shrink (List.sort_uniq Atom.compare_structural (Cq.body q)))
 
 let is_minimal q = Cq.size (minimize q) = Cq.size q
 

@@ -17,7 +17,7 @@ let rec partitions = function
         (partitions rest)
 
 let specializations q =
-  let vars = Term.Set.elements (Cq.vars q) in
+  let vars = Term.sorted_elements (Cq.vars q) in
   if List.length vars > 10 then
     invalid_arg "Injective.specializations: too many variables";
   let answer_vars = Cq.answer_vars q in
@@ -39,7 +39,8 @@ let specializations q =
     (* more blocks = fewer identifications; the identity has |vars| blocks *)
   in
   let dedup_body q =
-    Cq.make ~answer:(Cq.answer q) (List.sort_uniq Atom.compare (Cq.body q))
+    Cq.make ~answer:(Cq.answer q)
+      (List.sort_uniq Atom.compare_structural (Cq.body q))
   in
   partitions vars
   |> List.sort identity_first

@@ -16,7 +16,10 @@ module UF = struct
     let rx = find uf x and ry = find uf y in
     if Term.equal rx ry then uf else Term.Map.add rx ry uf
 
-  (* All classes as lists of members, for terms seen in [terms]. *)
+  (* All classes as lists of members, for terms seen in [terms]. Members
+     are listed in descending name order: representative selection breaks
+     score ties on the first member seen, so the order must not depend on
+     intern-id order. *)
   let classes uf terms =
     let tbl = Hashtbl.create 16 in
     Term.Set.iter
@@ -24,7 +27,10 @@ module UF = struct
         let r = find uf t in
         Hashtbl.replace tbl r (t :: Option.value ~default:[] (Hashtbl.find_opt tbl r)))
       terms;
-    Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+    Hashtbl.fold
+      (fun _ members acc ->
+        List.sort (fun a b -> Term.compare_names b a) members :: acc)
+      tbl []
 end
 
 let check_constant_free_rule r =
@@ -141,10 +147,9 @@ let rewrite_step rule q =
           @ List.map (Atom.map subst) outside
         in
         let new_answer = List.map subst (Cq.answer q) in
-        (* Deduplicate atoms. *)
-        let new_body =
-          List.sort_uniq Atom.compare new_body
-        in
+        (* Deduplicate atoms; structural order keeps printed bodies
+           byte-stable. *)
+        let new_body = List.sort_uniq Atom.compare_structural new_body in
         results := Cq.make ~answer:new_answer new_body :: !results
       end);
   !results

@@ -9,7 +9,7 @@ type outcome = {
 
 let dedup_body q =
   Cq.make ~answer:(Cq.answer q)
-    (List.sort_uniq Atom.compare (Cq.body q))
+    (List.sort_uniq Atom.compare_structural (Cq.body q))
 
 let rewrite_ucq ?(max_rounds = 12) ?(max_disjuncts = 2000) ?(minimize = true)
     rules start =

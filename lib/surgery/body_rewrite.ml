@@ -15,19 +15,23 @@ let same_rule r1 r2 =
        style checks would need nca_rewriting; use syntactic equality after
        canonical renaming instead. *)
     let vars =
-      Term.Set.elements (Term.Set.union (Rule.body_vars r) (Rule.head_vars r))
+      (* name order: the canonical c0..cn renaming must be assigned in a
+         stable order for the duplicate check to be deterministic *)
+      Term.sorted_elements
+        (Term.Set.union (Rule.body_vars r) (Rule.head_vars r))
     in
     let renaming =
       List.mapi (fun i v -> (v, Term.var (Fmt.str "c%d" i))) vars
       |> List.fold_left (fun acc (v, c) -> Subst.add v c acc) Subst.empty
     in
-    ( List.sort Atom.compare (Subst.apply_atoms renaming (Rule.body r)),
-      List.sort Atom.compare (Subst.apply_atoms renaming (Rule.head r)) )
+    ( List.sort Atom.compare_structural (Subst.apply_atoms renaming (Rule.body r)),
+      List.sort Atom.compare_structural (Subst.apply_atoms renaming (Rule.head r)) )
   in
-  as_cq r1 = as_cq r2
+  let b1, h1 = as_cq r1 and b2, h2 = as_cq r2 in
+  List.equal Atom.equal b1 b2 && List.equal Atom.equal h1 h2
 
 let rewrite_rule ?max_rounds ?max_disjuncts all_rules rho =
-  let frontier = Term.Set.elements (Rule.frontier rho) in
+  let frontier = Term.sorted_elements (Rule.frontier rho) in
   let body_query = Cq.make ~answer:frontier (Rule.body rho) in
   let outcome =
     Nca_rewriting.Rewrite.rewrite ?max_rounds ?max_disjuncts all_rules

@@ -2,18 +2,21 @@ open Nca_logic
 
 let freeze j =
   let renaming =
-    Term.Set.fold
-      (fun t acc -> Term.Map.add t (Term.fresh_var ~prefix:"enc" ()) acc)
-      (Instance.adom j) Term.Map.empty
+    (* name order: the [_enc<n>] numbering follows the name order of the
+       active domain, independent of intern-id order *)
+    List.fold_left
+      (fun acc t -> Term.Map.add t (Term.fresh_var ~prefix:"enc" ()) acc)
+      Term.Map.empty
+      (Term.sorted_elements (Instance.adom j))
   in
   let rename t =
     match Term.Map.find_opt t renaming with Some v -> v | None -> t
   in
   let head =
-    Instance.fold
-      (fun a acc -> Atom.map rename a :: acc)
-      (Instance.filter (fun a -> not (Atom.equal a Atom.top)) j)
-      []
+    List.rev_map
+      (fun a -> Atom.map rename a)
+      (Instance.sorted_atoms
+         (Instance.filter (fun a -> not (Atom.equal a Atom.top)) j))
   in
   let head = if head = [] then [ Atom.top ] else head in
   Rule.make ~name:"freeze" [ Atom.top ] head

@@ -61,7 +61,7 @@ let check_binary stage rules =
          else
            Fmt.str "arity > 2 after %s: %a" stage
              Fmt.(list ~sep:comma Symbol.pp)
-             (Symbol.Set.elements offenders));
+             (Symbol.sorted_elements offenders));
     };
   ]
 

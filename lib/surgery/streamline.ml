@@ -8,8 +8,7 @@ type names = {
 
 let term_label t =
   match t with
-  | Term.Var v -> v
-  | Term.Cst c -> c
+  | Term.Var v | Term.Cst v -> Names.name v
   | Term.Null n -> Fmt.str "n%d" n
 
 let names_for r =
@@ -37,8 +36,10 @@ let of_rule r =
   else begin
     let names = names_for r in
     let w = fresh_w r in
-    let frontier = Term.Set.elements (Rule.frontier r) in
-    let exist = Term.Set.elements (Rule.exist_vars r) in
+    (* name order: the generated NA#/NB# symbol names and the atom order
+       of the produced rules must not depend on intern-id order *)
+    let frontier = Term.sorted_elements (Rule.frontier r) in
+    let exist = Term.sorted_elements (Rule.exist_vars r) in
     let a_atoms =
       Atom.make names.a0 [ w ]
       :: List.map (fun y -> Atom.make (names.a_of y) [ y; w ]) frontier

@@ -425,6 +425,122 @@ let test_parse_roundtrip_rule () =
     (String.length printed > 0 && String.contains printed 'G')
 
 (* ------------------------------------------------------------------ *)
+(* Interning and hash-consing *)
+
+let test_names_roundtrip () =
+  let id = Names.intern "somename" in
+  Alcotest.(check string) "name resolves" "somename" (Names.name id);
+  check_int "intern idempotent" id (Names.intern "somename");
+  check "known after intern" true (Names.known "somename");
+  check_int "roundtrip through name" id (Names.intern (Names.name id))
+
+let test_term_interned_identity () =
+  check "same var same value" true (Term.equal (Term.var "v!") (Term.var "v!"));
+  check "var and cst differ" false (Term.equal (Term.var "v!") (Term.cst "v!"));
+  check "names preserved" true (String.equal (Term.name (Term.var "v!")) "v!")
+
+let test_symbol_interned_identity () =
+  let s1 = Symbol.make "Q!" 2 and s2 = Symbol.make "Q!" 2 in
+  check_int "same id" (Symbol.id s1) (Symbol.id s2);
+  check "different arity, different id" false
+    (Symbol.id s1 = Symbol.id (Symbol.make "Q!" 3))
+
+let test_atom_hashcons_shares () =
+  let a1 = e x y and a2 = e x y in
+  check "physically shared" true (a1 == a2);
+  check "hash agrees" true (Atom.hash a1 = Atom.hash a2);
+  check "distinct atoms distinct ids" false (Atom.id (e x y) = Atom.id (e y x))
+
+let test_fresh_skips_claimed_names () =
+  (* claim the name the generator would produce two steps from now; the
+     generator must skip it rather than alias the user's variable *)
+  let v1 = Term.fresh_var () in
+  let n = int_of_string (String.sub (Term.name v1) 2 (String.length (Term.name v1) - 2)) in
+  let claimed = Term.var (Printf.sprintf "_v%d" (n + 2)) in
+  let v2 = Term.fresh_var () in
+  let v3 = Term.fresh_var () in
+  check "next fresh distinct" false (Term.equal v2 claimed);
+  check "fresh skips the claimed name" false (Term.equal v3 claimed);
+  check "fresh names still distinct" false (Term.equal v2 v3)
+
+let test_parser_rejects_reserved () =
+  let rejected input =
+    try
+      ignore (Parser.parse_program input);
+      false
+    with Parser.Error { message; _ } ->
+      (* the message must point at the reserved namespace *)
+      let contains_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      contains_sub message "reserved"
+  in
+  check "reserved rule variable" true (rejected "E(_x,y) -> E(y,x).");
+  check "reserved fact constant" true (rejected "E(_a,b).");
+  check "reserved query variable" true (rejected "? E(_x,_x).");
+  check "reserved rule label" true (rejected "_r: E(x,y) -> E(y,x).");
+  check "inner underscore fine" true
+    (try
+       ignore (Parser.parse_program "E(x_y,y) -> E(y,x_y).");
+       true
+     with Parser.Error _ -> false)
+
+let name_gen =
+  QCheck.Gen.(
+    map
+      (fun (c, i) -> Printf.sprintf "%c%d" (Char.chr (Char.code 'a' + (abs c mod 26))) (abs i mod 1000))
+      (pair int int))
+
+let prop_intern_roundtrip =
+  QCheck.Test.make ~name:"intern → name → intern is the identity" ~count:500
+    (QCheck.make name_gen) (fun s ->
+      let id = Names.intern s in
+      String.equal (Names.name id) s && Names.intern (Names.name id) = id)
+
+let symbol_gen =
+  QCheck.Gen.(
+    map
+      (fun (i, a) ->
+        Symbol.make (Printf.sprintf "S%d" (abs i mod 5)) (abs a mod 3))
+      (pair int int))
+
+let prop_symbol_compare_agrees =
+  QCheck.Test.make
+    ~name:"interned Symbol.equal/compare/hash agree with structural semantics"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair symbol_gen symbol_gen))
+    (fun (s, t) ->
+      let structurally_equal = Symbol.compare_names s t = 0 in
+      Symbol.equal s t = structurally_equal
+      && Symbol.compare s t = 0 = structurally_equal
+      && ((not structurally_equal) || Symbol.hash s = Symbol.hash t))
+
+(* ------------------------------------------------------------------ *)
+(* Instance.remove index consistency *)
+
+let test_instance_interleaved_remove () =
+  let i = Instance.of_list [ e a b; e b a ] in
+  let i = Instance.remove (e a b) i in
+  check "removed gone" false (Instance.mem (e a b) i);
+  let i = Instance.remove (e a b) i in
+  check_int "second remove is a no-op" 1 (Instance.cardinal i);
+  let i = Instance.add (e a b) i in
+  check "re-added" true (Instance.mem (e a b) i);
+  check_int "re-add visible in pred index" 2
+    (List.length (Instance.with_pred (Symbol.make "E" 2) i));
+  check_int "re-add visible in positional index" 1
+    (List.length (Instance.candidates (e a y) Subst.empty i));
+  let i = Instance.remove (e b a) i in
+  let i = Instance.remove (e a b) i in
+  check "empty again" true (Instance.is_empty i);
+  check_int "pred index empty" 0
+    (List.length (Instance.with_pred (Symbol.make "E" 2) i));
+  check_int "positional index empty" 0
+    (List.length (Instance.candidates (e a y) Subst.empty i))
+
+(* ------------------------------------------------------------------ *)
 (* Property-based tests *)
 
 let term_gen =
@@ -446,6 +562,83 @@ let instance_gen =
   QCheck.Gen.(map Instance.of_list (list_size (int_range 0 12) atom_gen))
 
 let instance_arb = QCheck.make instance_gen
+
+let prop_term_compare_agrees =
+  QCheck.Test.make
+    ~name:"interned Term.equal/compare/hash agree with structural semantics"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair term_gen term_gen))
+    (fun (t, u) ->
+      let structurally_equal = Term.compare_names t u = 0 in
+      Term.equal t u = structurally_equal
+      && Term.compare t u = 0 = structurally_equal
+      && ((not structurally_equal) || Term.hash t = Term.hash u))
+
+let prop_atom_compare_agrees =
+  QCheck.Test.make
+    ~name:"hash-consed Atom.equal/compare/hash agree with structural semantics"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair atom_gen atom_gen))
+    (fun (p, q) ->
+      let structurally_equal = Atom.compare_structural p q = 0 in
+      Atom.equal p q = structurally_equal
+      && Atom.compare p q = 0 = structurally_equal
+      && structurally_equal = (p == q)
+      && ((not structurally_equal) || Atom.hash p = Atom.hash q))
+
+(* Arbitrary interleaved add/remove sequences (including re-adds): the
+   incrementally maintained instance must be indistinguishable — through
+   every index-backed observation — from one rebuilt from scratch. *)
+let ops_gen = QCheck.Gen.(list_size (int_range 0 30) (pair bool atom_gen))
+
+let apply_ops ops =
+  List.fold_left
+    (fun (inst, reference) (add, atom) ->
+      if add then (Instance.add atom inst, Atom.Set.add atom reference)
+      else (Instance.remove atom inst, Atom.Set.remove atom reference))
+    (Instance.empty, Atom.Set.empty)
+    ops
+
+let same_observations inst reference =
+  let rebuilt = Instance.of_list (Atom.Set.elements reference) in
+  let preds = [ Symbol.make "E" 2; Symbol.make "F" 2; Symbol.make "P" 1 ] in
+  let pattern_subs = [ Subst.empty; Subst.singleton (Term.var "x0") a ] in
+  let patterns = [ e x y; e a y; e (Term.var "x0") (Term.var "x0"); f x b ] in
+  Atom.Set.equal (Instance.to_set inst) reference
+  && Instance.cardinal inst = Atom.Set.cardinal reference
+  && List.for_all
+       (fun p ->
+         List.equal Atom.equal
+           (Instance.with_pred p inst)
+           (Instance.with_pred p rebuilt)
+         && Instance.pred_cardinal p inst = Instance.pred_cardinal p rebuilt)
+       preds
+  && List.for_all
+       (fun pat ->
+         List.for_all
+           (fun sub ->
+             List.equal Atom.equal
+               (Instance.candidates pat sub inst)
+               (Instance.candidates pat sub rebuilt)
+             && Instance.candidate_count pat sub inst
+                = Instance.candidate_count pat sub rebuilt)
+           pattern_subs)
+       patterns
+
+let prop_instance_indexes_consistent =
+  QCheck.Test.make
+    ~name:"predicate and positional indexes track atoms under add/remove"
+    ~count:500 (QCheck.make ops_gen) (fun ops ->
+      let inst, reference = apply_ops ops in
+      same_observations inst reference)
+
+let prop_instance_remove_then_readd =
+  QCheck.Test.make ~name:"removing then re-adding every atom is the identity"
+    ~count:200 (QCheck.make ops_gen) (fun ops ->
+      let inst, reference = apply_ops ops in
+      let cleared = Atom.Set.fold Instance.remove reference inst in
+      let restored = Atom.Set.fold Instance.add reference cleared in
+      Instance.is_empty cleared && same_observations restored reference)
 
 let prop_union_commutes =
   QCheck.Test.make ~name:"instance union commutes" ~count:100
@@ -573,6 +766,12 @@ let props =
       prop_rename_apart_avoids;
       prop_hom_indexed_matches_naive;
       prop_candidates_sound_and_pruning;
+      prop_intern_roundtrip;
+      prop_term_compare_agrees;
+      prop_symbol_compare_agrees;
+      prop_atom_compare_agrees;
+      prop_instance_indexes_consistent;
+      prop_instance_remove_then_readd;
     ]
 
 let tc name fn = Alcotest.test_case name `Quick fn
@@ -668,6 +867,16 @@ let () =
           tc "arity error" test_parse_arity_error;
           tc "syntax error" test_parse_syntax_error;
           tc "rule roundtrip" test_parse_roundtrip_rule;
+          tc "reserved namespace" test_parser_rejects_reserved;
+        ] );
+      ( "interning",
+        [
+          tc "names roundtrip" test_names_roundtrip;
+          tc "term identity" test_term_interned_identity;
+          tc "symbol identity" test_symbol_interned_identity;
+          tc "atom hash-consing" test_atom_hashcons_shares;
+          tc "fresh skips claimed names" test_fresh_skips_claimed_names;
+          tc "interleaved remove" test_instance_interleaved_remove;
         ] );
       ("properties", props);
     ]
