@@ -385,8 +385,9 @@ let t8 () =
             Nca_chase.Finite_model.loop_free_model_exists ~fresh:2 ~e:entry.e
               entry.instance entry.rules
           with
-          | Some exists -> if exists then "no" else "yes"
-          | None -> "budget"
+          | Nca_chase.Finite_model.Exists -> "no"
+          | Nca_chase.Finite_model.Absent -> "yes"
+          | Nca_chase.Finite_model.Unknown _ -> "budget"
         in
         [
           name;

@@ -220,6 +220,20 @@ let speedup_x100 ~before ~after = before * 100 / max 1 after
 
 let failures = ref 0
 
+(* One extra, untimed run with telemetry on: the engine's own counters
+   (rounds, triggers, derived atoms) land next to the timings in the JSON
+   row. The timed runs above execute with telemetry disabled, so the
+   numbers stay comparable across PRs. *)
+let counters_of f =
+  Nca_obs.Telemetry.enable ();
+  ignore (f ());
+  let snap = Nca_obs.Telemetry.snapshot () in
+  Nca_obs.Telemetry.disable ();
+  Json.Obj
+    (List.map
+       (fun (k, v) -> (k, Json.Int v))
+       snap.Nca_obs.Telemetry.counters)
+
 let check_eq ~workload what a b =
   if a <> b then begin
     Fmt.epr "MISMATCH %s: %s: %d vs %d@." workload what a b;
@@ -266,6 +280,10 @@ let chase_workload ~reps (name, full, smoke_b) ~smoke =
       ("before_us", Json.Int before_us);
       ("after_us", Json.Int after_us);
       ("speedup_x100", Json.Int (speedup_x100 ~before:before_us ~after:after_us));
+      ( "counters",
+        counters_of (fun () ->
+            Chase.run ~max_depth:b.depth ~max_atoms:b.atoms entry.instance
+              entry.rules) );
     ]
 
 let datalog_workload ~reps (name, instance, rules_src, smoke_scale) ~smoke =
@@ -275,7 +293,7 @@ let datalog_workload ~reps (name, instance, rules_src, smoke_scale) ~smoke =
     time_us ~reps (fun () -> Naive.datalog_saturate instance rules)
   in
   let closure, after_us =
-    time_us ~reps (fun () -> Datalog.saturate instance rules)
+    time_us ~reps (fun () -> Datalog.closure instance rules)
   in
   let workload = "datalog/" ^ name in
   check_eq ~workload "closure" (Instance.cardinal n_closure)
@@ -293,6 +311,7 @@ let datalog_workload ~reps (name, instance, rules_src, smoke_scale) ~smoke =
       ("before_us", Json.Int before_us);
       ("after_us", Json.Int after_us);
       ("speedup_x100", Json.Int (speedup_x100 ~before:before_us ~after:after_us));
+      ("counters", counters_of (fun () -> Datalog.closure instance rules));
     ]
 
 let hom_workload ~reps (name, pattern, target) =
@@ -431,7 +450,13 @@ let star n =
     (Atom.app "H" [ Term.cst "hub" ]
     :: List.init n (fun i -> Atom.app "N" [ Term.cst (Fmt.str "n%d" i) ]))
 
-let run_all ~smoke =
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let run_all ~smoke ~only =
+  let sel name = match only with None -> true | Some s -> contains name s in
   let reps = if smoke then 1 else 3 in
   (* Budgets are per-workload: deep for the linear/join rule sets where
      the naive engine's per-round re-enumeration bites, shallow for the
@@ -469,10 +494,14 @@ let run_all ~smoke =
     ]
   in
   let chase_rows =
-    List.map (fun w -> chase_workload ~reps w ~smoke) chase_workloads
+    chase_workloads
+    |> List.filter (fun (n, _, _) -> sel ("chase/" ^ n))
+    |> List.map (fun w -> chase_workload ~reps w ~smoke)
   in
   let datalog_rows =
-    List.map (fun w -> datalog_workload ~reps w ~smoke) datalog_workloads
+    datalog_workloads
+    |> List.filter (fun (n, _, _, _) -> sel ("datalog/" ^ n))
+    |> List.map (fun w -> datalog_workload ~reps w ~smoke)
   in
   let hom_target =
     let entry = Rulesets.find "example1_bdd" in
@@ -482,28 +511,35 @@ let run_all ~smoke =
   let u = Term.var "u" and v = Term.var "v" and w = Term.var "w" in
   let e s t = Atom.app "E" [ s; t ] in
   let hom_rows =
-    List.map
-      (fun w -> hom_workload ~reps w)
-      [
-        ("path2_exists_seeded", [ e u v; e v w ], hom_target);
-        ("vee_join", [ e u v; e u w ], hom_target);
-      ]
+    [
+      ("path2_exists_seeded", [ e u v; e v w ], hom_target);
+      ("vee_join", [ e u v; e u w ], hom_target);
+    ]
+    |> List.filter (fun (n, _, _) -> sel ("hom/" ^ n))
+    |> List.map (fun w -> hom_workload ~reps w)
   in
   let rewrite_rows =
-    List.map
-      (rewrite_workload ~reps ~max_rounds:(if smoke then 4 else 8))
-      [ "example1_bdd"; "symmetric"; "sticky"; "ucq_defined" ]
+    [ "example1_bdd"; "symmetric"; "sticky"; "ucq_defined" ]
+    |> List.filter (fun n -> sel ("rewrite/" ^ n))
+    |> List.map (rewrite_workload ~reps ~max_rounds:(if smoke then 4 else 8))
   in
   let intern_rows =
-    [
-      intern_membership_workload ~reps
-        ~rounds:(if smoke then 5 else 200)
-        hom_target;
-      intern_dedup_workload ~reps
-        ~rounds:(if smoke then 5 else 500)
-        ~max_rounds:(if smoke then 4 else 8)
-        "example1_bdd";
-    ]
+    (if sel "intern/hom_membership" then
+       [
+         intern_membership_workload ~reps
+           ~rounds:(if smoke then 5 else 200)
+           hom_target;
+       ]
+     else [])
+    @
+    if sel "intern/rewrite_dedup" then
+      [
+        intern_dedup_workload ~reps
+          ~rounds:(if smoke then 5 else 500)
+          ~max_rounds:(if smoke then 4 else 8)
+          "example1_bdd";
+      ]
+    else []
   in
   Json.Obj
     [
@@ -555,7 +591,13 @@ let () =
     | [] -> None
   in
   let out = out_arg argv in
-  let doc = run_all ~smoke in
+  let rec only_arg = function
+    | "--only" :: sub :: _ -> Some sub
+    | _ :: rest -> only_arg rest
+    | [] -> None
+  in
+  let only = only_arg argv in
+  let doc = run_all ~smoke ~only in
   let rendered = Fmt.str "%a" Json.pp doc in
   (* harness-rot check: the emitted document must round-trip *)
   (match Json.parse rendered with
@@ -564,7 +606,9 @@ let () =
       Fmt.epr "BENCH json does not round-trip: %s@." e;
       incr failures);
   summarize doc;
-  (if Option.is_some out || not smoke then begin
+  (* a filtered run is partial — never let it overwrite the committed
+     document unless an output path was asked for explicitly *)
+  (if Option.is_some out || (not smoke && only = None) then begin
      let path = Option.value ~default:"BENCH_chase.json" out in
      let oc = open_out path in
      output_string oc rendered;

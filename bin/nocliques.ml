@@ -26,6 +26,13 @@ module Valley = Nca_core.Valley
 module Lint = Nca_analysis.Lint
 module Diagnostic = Nca_analysis.Diagnostic
 module Json = Nca_analysis.Json
+module Budget = Nca_obs.Budget
+module Exhausted = Nca_obs.Exhausted
+module Telemetry = Nca_obs.Telemetry
+
+(* Exit codes: 0 ok, 1 analysis/stage failure, 2 usage error (Cmdliner),
+   3 budget exhausted before a verdict. *)
+let exit_budget = 3
 
 let read_file path =
   match open_in_bin path with
@@ -85,21 +92,102 @@ let edge_arg =
     & info [ "e"; "edge" ] ~docv:"PRED"
         ~doc:"Binary predicate used for tournament and loop queries.")
 
+(* observability & budget options, shared by every engine subcommand *)
+
+type obs = { trace : bool; stats_json : bool; timeout : float option }
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Print the telemetry tree (spans with call counts and timings, \
+             counters) to stderr after the run.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:
+            "Print the telemetry snapshot as one line of JSON (schema \
+             nocliques/stats/v1) to stdout after the run.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the engines. On expiry the run stops at \
+             the next checkpoint, reports what was computed, and exits \
+             with status 3.")
+  in
+  Cterm.(
+    const (fun trace stats_json timeout -> { trace; stats_json; timeout })
+    $ trace_arg $ stats_json_arg $ timeout_arg)
+
+let budget_of obs =
+  match obs.timeout with
+  | None -> Budget.unlimited
+  | Some timeout_s -> Budget.v ~timeout_s ()
+
+(* Run a subcommand body with telemetry enabled when requested; the trace
+   goes to stderr (diagnostics channel), the JSON snapshot to stdout
+   (machine channel), whatever status the body returns. *)
+let with_obs obs f =
+  let recording = obs.trace || obs.stats_json in
+  if recording then Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if recording then begin
+        let snap = Telemetry.snapshot () in
+        Telemetry.disable ();
+        if obs.trace then Fmt.epr "%a@." Telemetry.pp_snapshot snap;
+        if obs.stats_json then
+          Fmt.pr "%s@."
+            (Json.to_string (Nca_analysis.Obs_report.of_snapshot snap))
+      end)
+    f
+
+(* A wall-clock or cancellation stop is a failure to reach a verdict and
+   gets the dedicated exit status; structural stops (depth/atoms/rounds…)
+   are requested exploration bounds, already reported in-band. *)
+let budget_status what = function
+  | Some (e : Exhausted.t)
+    when e.resource = Exhausted.Wall_clock || e.resource = Exhausted.Cancelled
+    ->
+      Fmt.epr "nocliques: %s stopped early: %a@." what Exhausted.pp e;
+      exit_budget
+  | Some _ | None -> 0
+
+(* Surgery stages signal malformed intermediate rules with a typed
+   exception; render it as a diagnostic, not a crash (the seed's toplevel
+   handler was dead code: Cmdliner's [eval'] catches exceptions first and
+   exited 125 with a backtrace). *)
+let guarded f =
+  try f ()
+  with Pipeline.Stage_error { stage; reason } ->
+    Fmt.epr "surgery stage %s failed: %s@." stage reason;
+    1
+
 (* chase *)
 
 let chase_cmd =
-  let run file depth max_atoms print_instance explain =
+  let run file depth max_atoms print_instance explain obs =
     let prog = load file in
-    let c = Chase.run ~max_depth:depth ~max_atoms prog.facts prog.rules in
+    with_obs obs @@ fun () ->
+    let c =
+      Chase.run ~max_depth:depth ~max_atoms ~budget:(budget_of obs)
+        prog.facts prog.rules
+    in
     Fmt.pr "chase: %a@." Chase.pp_stats c;
     if print_instance then Fmt.pr "%a@." Instance.pp c.instance;
     if explain then begin
       let invented = Term.Set.elements (Chase.invented c) in
+      let ts t = Option.value ~default:0 (Chase.timestamp c t) in
       let deepest =
-        List.sort
-          (fun a b ->
-            Int.compare (Chase.timestamp c b) (Chase.timestamp c a))
-          invented
+        List.sort (fun a b -> Int.compare (ts b) (ts a)) invented
       in
       match deepest with
       | [] -> Fmt.pr "no invented terms to explain@."
@@ -111,7 +199,7 @@ let chase_cmd =
     List.iter
       (fun q -> Fmt.pr "%a  ⊨ %b@." Cq.pp q (Cq.holds c.instance q))
       prog.queries;
-    0
+    budget_status "chase" c.stopped
   in
   let print_arg =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the chase instance.")
@@ -126,12 +214,12 @@ let chase_cmd =
     (Cmd.info "chase" ~doc:"Run the oblivious chase and answer the queries.")
     Cterm.(
       const run $ file_arg $ depth_arg $ max_atoms_arg $ print_arg
-      $ explain_arg)
+      $ explain_arg $ obs_term)
 
 (* rewrite *)
 
 let rewrite_cmd =
-  let run file rounds query =
+  let run file rounds query obs =
     let prog = load file in
     let q =
       match (query, prog.queries) with
@@ -141,12 +229,15 @@ let rewrite_cmd =
           Fmt.epr "no query in %s and none given with --query@." file;
           exit 1
     in
-    let out = Rewrite.rewrite ~max_rounds:rounds prog.rules q in
+    with_obs obs @@ fun () ->
+    let out =
+      Rewrite.rewrite ~max_rounds:rounds ~budget:(budget_of obs) prog.rules q
+    in
     Fmt.pr "rewriting of %a@." Cq.pp q;
     Fmt.pr "complete=%b rounds=%d disjuncts=%d generated=%d@." out.complete
       out.rounds (Ucq.size out.ucq) out.generated;
     Fmt.pr "%a@." Ucq.pp out.ucq;
-    0
+    budget_status "rewriting" out.stopped
   in
   let query_arg =
     Arg.(
@@ -157,16 +248,17 @@ let rewrite_cmd =
   in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Compute a UCQ rewriting (backward chaining).")
-    Cterm.(const run $ file_arg $ rounds_arg $ query_arg)
+    Cterm.(const run $ file_arg $ rounds_arg $ query_arg $ obs_term)
 
 (* properties *)
 
 let properties_cmd =
-  let run file rounds =
+  let run file rounds obs =
     let prog = load file in
+    with_obs obs @@ fun () ->
     Fmt.pr "%a@." Properties.pp_report (Properties.describe prog.rules);
     let verdicts =
-      Bdd.for_signature ~max_rounds:rounds prog.rules
+      Bdd.for_signature ~max_rounds:rounds ~budget:(budget_of obs) prog.rules
         (Rule.signature prog.rules)
     in
     List.iter
@@ -179,12 +271,15 @@ let properties_cmd =
       verdicts;
     Fmt.pr "bdd certified (all atomic queries): %b@."
       (Bdd.certified verdicts);
-    0
+    let first_stop =
+      List.find_map (fun (v : Bdd.verdict) -> v.stopped) verdicts
+    in
+    budget_status "bdd certification" first_stop
   in
   Cmd.v
     (Cmd.info "properties"
        ~doc:"Report syntactic properties and bdd verdicts per atomic query.")
-    Cterm.(const run $ file_arg $ rounds_arg)
+    Cterm.(const run $ file_arg $ rounds_arg $ obs_term)
 
 (* lint *)
 
@@ -275,9 +370,14 @@ let lint_cmd =
 (* surgery *)
 
 let surgery_cmd =
-  let run file verify print_rules max_rounds =
+  let run file verify print_rules max_rounds obs =
     let prog = load file in
-    let p = Pipeline.regalize ?max_rounds prog.facts prog.rules in
+    with_obs obs @@ fun () ->
+    guarded @@ fun () ->
+    let p =
+      Pipeline.regalize ?max_rounds ~budget:(budget_of obs) prog.facts
+        prog.rules
+    in
     List.iter
       (fun (s : Pipeline.step) ->
         Fmt.pr "step %-12s rules=%-3d %s@." s.label (List.length s.rules)
@@ -295,7 +395,7 @@ let surgery_cmd =
       List.iter
         (fun (label, ok) -> Fmt.pr "chase preserved after %-12s %b@." label ok)
         (Pipeline.verify_chase_preservation ~depth:3 prog.facts prog.rules p);
-    0
+    budget_status "surgery" p.stopped
   in
   let verify_arg =
     Arg.(
@@ -319,19 +419,29 @@ let surgery_cmd =
   Cmd.v
     (Cmd.info "surgery"
        ~doc:"Run the Section-4 regalization pipeline on the rule set.")
-    Cterm.(const run $ file_arg $ verify_arg $ print_arg $ rounds_arg)
+    Cterm.(
+      const run $ file_arg $ verify_arg $ print_arg $ rounds_arg $ obs_term)
 
 (* analyze *)
 
 let analyze_cmd =
-  let run file depth edge =
+  let run file depth edge obs =
     let prog = load file in
     let e = Symbol.make edge 2 in
-    let p = Pipeline.regalize prog.facts prog.rules in
+    with_obs obs @@ fun () ->
+    guarded @@ fun () ->
+    let budget = budget_of obs in
+    let p = Pipeline.regalize ~budget prog.facts prog.rules in
     Fmt.pr "regalized: %d rules, complete=%b@." (List.length p.final)
       p.complete;
-    let t = Witness.analyze ~depth ~e p.final in
+    let t = Witness.analyze ~depth ~budget ~e p.final in
     Fmt.pr "Ch(R∃): %a@." Chase.pp_stats t.chase_ex;
+    (match t.closure_stopped with
+    | None -> ()
+    | Some ex ->
+        Fmt.pr "Datalog closure PARTIAL (%s) — edge counts are lower \
+                bounds@."
+          (Exhausted.tag ex));
     Fmt.pr "|Q_⊠| = %d (complete=%b)@." (Ucq.size t.rewriting)
       t.rewriting_complete;
     let edges = Witness.edges t in
@@ -352,21 +462,31 @@ let analyze_cmd =
       (Cq.holds t.full (Cq.loop_query e))
       (Theorem1.tournament_size_bound
          ~rewriting_disjuncts:(Ucq.size t.rewriting));
-    0
+    let first_stop =
+      match p.stopped with
+      | Some _ as s -> s
+      | None -> (
+          match t.chase_ex.Chase.stopped with
+          | Some _ as s -> s
+          | None -> t.closure_stopped)
+    in
+    budget_status "analysis" first_stop
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Full Section-5 analysis: witnesses, valleys, tournament bound.")
-    Cterm.(const run $ file_arg $ depth_arg $ edge_arg)
+    Cterm.(const run $ file_arg $ depth_arg $ edge_arg $ obs_term)
 
 (* tournament *)
 
 let tournament_cmd =
-  let run file depth max_atoms edge =
+  let run file depth max_atoms edge obs =
     let prog = load file in
     let e = Symbol.make edge 2 in
+    with_obs obs @@ fun () ->
     let v =
-      Theorem1.validate ~max_depth:depth ~max_atoms ~e prog.facts prog.rules
+      Theorem1.validate ~max_depth:depth ~max_atoms ~budget:(budget_of obs)
+        ~e prog.facts prog.rules
     in
     Fmt.pr "%a@." Theorem1.pp_verdict v;
     (if v.tournament <> [] then
@@ -375,12 +495,13 @@ let tournament_cmd =
          v.tournament);
     Fmt.pr "Theorem 1 shadow (threshold 4): %b@."
       (Theorem1.implication_holds ~threshold:4 v);
-    0
+    budget_status "tournament analysis" v.stopped
   in
   Cmd.v
     (Cmd.info "tournament"
        ~doc:"Measure the largest E-tournament and loop entailment.")
-    Cterm.(const run $ file_arg $ depth_arg $ max_atoms_arg $ edge_arg)
+    Cterm.(
+      const run $ file_arg $ depth_arg $ max_atoms_arg $ edge_arg $ obs_term)
 
 (* dot *)
 
@@ -440,22 +561,32 @@ let classes_cmd =
 (* finite *)
 
 let finite_cmd =
-  let run file fresh edge forbid_loop =
+  let run file fresh edge forbid_loop obs =
     let prog = load file in
     let e = Symbol.make edge 2 in
     let forbid = if forbid_loop then Some (Cq.loop_query e) else None in
-    (match Nca_chase.Finite_model.search ~fresh ?forbid prog.facts prog.rules with
+    with_obs obs @@ fun () ->
+    match
+      Nca_chase.Finite_model.search ~fresh ?forbid ~budget:(budget_of obs)
+        prog.facts prog.rules
+    with
     | Model m ->
         Fmt.pr "finite model (%d atoms): %a@." (Instance.cardinal m)
           Instance.pp m;
         Fmt.pr "Loop_%s holds in it: %b@." edge
-          (Cq.holds m (Cq.loop_query e))
+          (Cq.holds m (Cq.loop_query e));
+        0
     | No_model ->
         Fmt.pr
           "no such finite model with %d extra elements (search exhausted)@."
-          fresh
-    | Budget -> Fmt.pr "search budget exhausted — no verdict@.");
-    0
+          fresh;
+        0
+    | Exhausted ex ->
+        (* no verdict ≠ no model: say so on stderr and in the exit code *)
+        Fmt.pr "search budget exhausted — no verdict@.";
+        Fmt.epr "nocliques: finite-model search stopped early: %a@."
+          Exhausted.pp ex;
+        exit_budget
   in
   let fresh_arg =
     Arg.(
@@ -472,7 +603,7 @@ let finite_cmd =
   Cmd.v
     (Cmd.info "finite"
        ~doc:"Search for a finite model (the finite side of fc).")
-    Cterm.(const run $ file_arg $ fresh_arg $ edge_arg $ forbid_arg)
+    Cterm.(const run $ file_arg $ fresh_arg $ edge_arg $ forbid_arg $ obs_term)
 
 (* zoo *)
 
@@ -577,20 +708,14 @@ let debug_cmd =
 let () =
   let doc = "the No-Cliques-Allowed toolkit for existential rules" in
   let info = Cmd.info "nocliques" ~version:"1.0.0" ~doc in
-  let status =
-    try
-      Cmd.eval' (Cmd.group info
-        [ chase_cmd; rewrite_cmd; properties_cmd; lint_cmd; surgery_cmd;
-          analyze_cmd; tournament_cmd; classes_cmd; finite_cmd; dot_cmd;
-          zoo_cmd; debug_cmd ])
-    with
-    | Pipeline.Stage_error { stage; reason } ->
-        Fmt.epr "surgery stage %s failed: %s@." stage reason;
-        1
-    | Nca_chase.Datalog.Budget { resource; limit } ->
-        Fmt.epr "datalog saturation exhausted its %s budget (%d)@."
-          (match resource with `Rounds -> "rounds" | `Atoms -> "atoms")
-          limit;
-        1
-  in
-  exit status
+  (* No exception handlers here: the seed's [try Cmd.eval' … with] around
+     this call was dead code — Cmdliner catches exceptions inside [eval']
+     and exits 125 with a backtrace, so the handlers never fired. Budget
+     exhaustion is a value now (exit 3 via [budget_status]); stage errors
+     are guarded inside the subcommand bodies ([guarded]). *)
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ chase_cmd; rewrite_cmd; properties_cmd; lint_cmd; surgery_cmd;
+            analyze_cmd; tournament_cmd; classes_cmd; finite_cmd; dot_cmd;
+            zoo_cmd; debug_cmd ]))

@@ -36,14 +36,15 @@ let side_by_side (entry : Rulesets.entry) =
         Finite_model.loop_free_model_exists ~fresh ~e:entry.e entry.instance
           entry.rules
       with
-      | Some true ->
+      | Finite_model.Exists ->
           Fmt.pr "  finite, +%d elements: loop-free model EXISTS@." fresh
-      | Some false ->
+      | Finite_model.Absent ->
           Fmt.pr
             "  finite, +%d elements: every model has a loop (search \
              exhausted)@."
             fresh
-      | None -> Fmt.pr "  finite, +%d elements: budget exhausted@." fresh)
+      | Finite_model.Unknown _ ->
+          Fmt.pr "  finite, +%d elements: budget exhausted@." fresh)
     [ 0; 1; 2 ];
   (match Finite_model.search ~fresh:1 entry.instance entry.rules with
   | Model m ->
@@ -51,7 +52,7 @@ let side_by_side (entry : Rulesets.entry) =
         m
         (Cq.holds m (loop entry.e))
   | No_model -> Fmt.pr "  no finite model within budget@."
-  | Budget -> Fmt.pr "  model search budget exhausted@.");
+  | Exhausted _ -> Fmt.pr "  model search budget exhausted@.");
   unrestricted
 
 let () =

@@ -1,0 +1,19 @@
+let schema = "nocliques/stats/v1"
+
+let rec span_json (s : Nca_obs.Telemetry.span_stats) =
+  Json.Obj
+    [
+      ("name", Json.String s.span_name);
+      ("calls", Json.Int s.calls);
+      ("time_us", Json.Int s.time_us);
+      ("children", Json.List (List.map span_json s.children));
+    ]
+
+let of_snapshot (snap : Nca_obs.Telemetry.snapshot) =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters) );
+      ("spans", Json.List (List.map span_json snap.spans));
+    ]

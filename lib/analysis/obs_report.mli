@@ -1,0 +1,20 @@
+(** Machine-readable rendering of telemetry snapshots.
+
+    Bridges [Nca_obs.Telemetry] to the toolkit's JSON document type —
+    the payload behind [nocliques --stats-json]. The shape is versioned
+    ([nocliques/stats/v1]) and covered by a golden test, so consumers
+    can rely on it:
+
+    {v
+    { "schema": "nocliques/stats/v1",
+      "counters": { "chase.rounds": 3, ... },
+      "spans": [ { "name": "chase", "calls": 1, "time_us": 42,
+                   "children": [...] }, ... ] }
+    v} *)
+
+val schema : string
+(** ["nocliques/stats/v1"]. *)
+
+val of_snapshot : Nca_obs.Telemetry.snapshot -> Json.t
+(** Counters as one object (sorted by name, as in the snapshot), spans as
+    a recursive array in first-seen order. *)

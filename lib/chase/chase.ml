@@ -12,7 +12,7 @@ type t = {
   levels : Instance.t list;
   depth : int;
   saturated : bool;
-  truncated : bool;
+  stopped : Nca_obs.Exhausted.t option;
   timestamps : int Term.Map.t;
   provenance : provenance Term.Map.t;
 }
@@ -37,88 +37,121 @@ module Keytbl = Hashtbl.Make (Trigger.Key)
    entirely over older levels were enumerated — and recorded in [fired] —
    when their last atom appeared. The first round runs with
    [delta = start], i.e. every trigger over the input. *)
-let run ?(variant = Oblivious) ?(max_depth = 8) ?(max_atoms = 20000) start
-    rules =
+let run ?(variant = Oblivious) ?max_depth ?max_atoms
+    ?(budget = Nca_obs.Budget.unlimited) start rules =
+  (* one governor for every bound: the legacy [max_depth]/[max_atoms]
+     arguments and the caller's budget intersect to the tighter value *)
+  let budget =
+    Nca_obs.Budget.intersect budget
+      (Nca_obs.Budget.v
+         ~max_depth:(Option.value ~default:8 max_depth)
+         ~max_atoms:(Option.value ~default:20000 max_atoms)
+         ())
+  in
   let fired = Keytbl.create 256 in
   let rec go current delta levels_rev level stamps prov =
-    if level >= max_depth then finish current levels_rev stamps prov ~saturated:false ~truncated:false
-    else begin
-      let triggers =
-        List.filter
-          (fun tr ->
-            let k =
-              match variant with
-              | Semi_oblivious -> Trigger.frontier_key tr
-              | Oblivious | Restricted -> Trigger.key tr
+    let stop =
+      match Nca_obs.Budget.interrupted budget with
+      | Some _ as e -> e
+      | None -> Nca_obs.Budget.depth budget ~used:level
+    in
+    match stop with
+    | Some _ ->
+        finish current levels_rev stamps prov ~saturated:false ~stopped:stop
+    | None -> (
+        let round =
+          Nca_obs.Telemetry.span "chase.round" @@ fun () ->
+          let triggers =
+            List.filter
+              (fun tr ->
+                let k =
+                  match variant with
+                  | Semi_oblivious -> Trigger.frontier_key tr
+                  | Oblivious | Restricted -> Trigger.key tr
+                in
+                if Keytbl.mem fired k then false
+                else if variant = Restricted && satisfied tr current then begin
+                  (* its head stays satisfied forever: never reconsider *)
+                  Keytbl.add fired k ();
+                  false
+                end
+                else begin
+                  Keytbl.add fired k ();
+                  true
+                end)
+              (Trigger.all_delta rules ~total:current ~delta)
+          in
+          if triggers = [] then None
+          else begin
+            (* the next delta is accumulated from the trigger outputs, so a
+               round costs O(new atoms), not a sweep of the whole instance *)
+            let (next, delta'), stamps, prov =
+              List.fold_left
+                (fun ((inst, d), stamps, prov) tr ->
+                  let out, ext = Trigger.output tr in
+                  let prov =
+                    Term.Set.fold
+                      (fun z acc ->
+                        let created = Subst.apply ext z in
+                        Term.Map.add created
+                          {
+                            rule = tr.Trigger.rule;
+                            hom = tr.Trigger.hom;
+                            extension = ext;
+                            level = level + 1;
+                          }
+                          acc)
+                      (Rule.exist_vars tr.Trigger.rule)
+                      prov
+                  in
+                  let inst, d =
+                    Instance.fold
+                      (fun a (inst, d) ->
+                        if Instance.mem a inst then (inst, d)
+                        else (Instance.add a inst, Instance.add a d))
+                      out (inst, d)
+                  in
+                  ( (inst, d),
+                    stamp_terms (level + 1) (Instance.adom out) stamps,
+                    prov ))
+                ((current, Instance.empty), stamps, prov) triggers
             in
-            if Keytbl.mem fired k then false
-            else if variant = Restricted && satisfied tr current then begin
-              (* its head stays satisfied forever: never reconsider *)
-              Keytbl.add fired k ();
-              false
-            end
-            else begin
-              Keytbl.add fired k ();
-              true
-            end)
-          (Trigger.all_delta rules ~total:current ~delta)
-      in
-      if triggers = [] then
-        finish current levels_rev stamps prov ~saturated:true ~truncated:false
-      else begin
-        (* the next delta is accumulated from the trigger outputs, so a
-           round costs O(new atoms), not a sweep of the whole instance *)
-        let (next, delta'), stamps, prov =
-          List.fold_left
-            (fun ((inst, d), stamps, prov) tr ->
-              let out, ext = Trigger.output tr in
-              let prov =
-                Term.Set.fold
-                  (fun z acc ->
-                    let created = Subst.apply ext z in
-                    Term.Map.add created
-                      {
-                        rule = tr.Trigger.rule;
-                        hom = tr.Trigger.hom;
-                        extension = ext;
-                        level = level + 1;
-                      }
-                      acc)
-                  (Rule.exist_vars tr.Trigger.rule)
-                  prov
-              in
-              let inst, d =
-                Instance.fold
-                  (fun a (inst, d) ->
-                    if Instance.mem a inst then (inst, d)
-                    else (Instance.add a inst, Instance.add a d))
-                  out (inst, d)
-              in
-              ( (inst, d),
-                stamp_terms (level + 1) (Instance.adom out) stamps,
-                prov ))
-            ((current, Instance.empty), stamps, prov) triggers
+            (* the [List.length] walk is only worth paying when recording *)
+            if Nca_obs.Telemetry.enabled () then begin
+              Nca_obs.Telemetry.count "chase.triggers" (List.length triggers);
+              Nca_obs.Telemetry.count "chase.atoms" (Instance.cardinal delta')
+            end;
+            Some (next, delta', stamps, prov)
+          end
         in
-        if Instance.cardinal next > max_atoms then
-          finish next (next :: levels_rev) stamps prov ~saturated:false
-            ~truncated:true
-        else
-          go next delta' (next :: levels_rev) (level + 1) stamps prov
-      end
-    end
-  and finish instance levels_rev stamps prov ~saturated ~truncated =
+        match round with
+        | None ->
+            finish current levels_rev stamps prov ~saturated:true
+              ~stopped:None
+        | Some (next, delta', stamps, prov) -> (
+            match
+              Nca_obs.Budget.atoms budget ~used:(Instance.cardinal next)
+            with
+            | Some _ as stop ->
+                finish next (next :: levels_rev) stamps prov ~saturated:false
+                  ~stopped:stop
+            | None ->
+                go next delta' (next :: levels_rev) (level + 1) stamps prov))
+  and finish instance levels_rev stamps prov ~saturated ~stopped =
     let levels = List.rev levels_rev in
+    Nca_obs.Telemetry.count "chase.rounds" (List.length levels - 1);
     {
       instance;
       levels;
       depth = List.length levels - 1;
       saturated;
-      truncated;
+      stopped;
       timestamps = stamps;
       provenance = prov;
     }
   in
   let stamps = stamp_terms 0 (Instance.adom start) Term.Map.empty in
+  Nca_obs.Telemetry.span "chase" @@ fun () ->
   go start start [ start ] 0 stamps Term.Map.empty
 
 let level c k =
@@ -130,11 +163,11 @@ let level c k =
   in
   nth 0 c.levels
 
-let timestamp c t = Term.Map.find t c.timestamps
+let timestamp c t = Term.Map.find_opt t c.timestamps
 
 let timestamp_multiset c terms =
   Nca_graph.Multiset.Int_multiset.of_list
-    (List.map (timestamp c) (Term.Set.elements terms))
+    (List.filter_map (timestamp c) (Term.Set.elements terms))
 
 let terms c = Instance.adom c.instance
 
@@ -154,9 +187,21 @@ let holds_at c q =
 
 let e_graph e c = Nca_graph.Digraph.of_instance e c.instance
 
+(* A depth-stop is the requested exploration bound, not an anomaly, so it
+   stays silent as in the seed; an atoms-stop keeps the seed's
+   " truncated" byte-for-byte; only the new (wall-clock/cancel) verdicts
+   print their resource. *)
+let pp_stop ppf = function
+  | None -> ()
+  | Some e -> (
+      match e.Nca_obs.Exhausted.resource with
+      | Nca_obs.Exhausted.Depth -> ()
+      | Nca_obs.Exhausted.Atoms -> Fmt.string ppf " truncated"
+      | _ -> Fmt.pf ppf " stopped:%s" (Nca_obs.Exhausted.tag e))
+
 let pp_stats ppf c =
-  Fmt.pf ppf "depth=%d atoms=%d terms=%d%s%s" c.depth
+  Fmt.pf ppf "depth=%d atoms=%d terms=%d%s%a" c.depth
     (Instance.cardinal c.instance)
     (Term.Set.cardinal (terms c))
     (if c.saturated then " saturated" else "")
-    (if c.truncated then " truncated" else "")
+    pp_stop c.stopped

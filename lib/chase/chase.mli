@@ -22,7 +22,11 @@ type t = {
   levels : Instance.t list;  (** [Ch_0; Ch_1; …; Ch_depth], cumulative *)
   depth : int;  (** number of levels computed *)
   saturated : bool;  (** no trigger was left to fire at the end *)
-  truncated : bool;  (** stopped because of [max_atoms] *)
+  stopped : Nca_obs.Exhausted.t option;
+      (** the budget verdict when the run stopped before saturation: which
+          resource (depth, atoms, wall clock, cancellation) ran out.
+          [None] iff [saturated]. The computed prefix is always valid —
+          identical to the corresponding prefix of an unbudgeted run. *)
   timestamps : int Term.Map.t;  (** Definition 34, for every term *)
   provenance : provenance Term.Map.t;  (** for every invented null *)
 }
@@ -40,10 +44,17 @@ type variant =
           as an ablation in the benchmarks. *)
 
 val run :
-  ?variant:variant -> ?max_depth:int -> ?max_atoms:int -> Instance.t ->
-  Rule.t list -> t
+  ?variant:variant -> ?max_depth:int -> ?max_atoms:int ->
+  ?budget:Nca_obs.Budget.t -> Instance.t -> Rule.t list -> t
 (** Run the chase level-synchronously until saturation, [max_depth] levels
-    (default 8), or more than [max_atoms] atoms (default 20000).
+    (default 8), more than [max_atoms] atoms (default 20000), or any bound
+    of [budget] — the legacy arguments and the budget intersect to the
+    tighter value, so a wall-clock or cancellation budget composes with
+    the structural defaults. A stop before saturation is reported in
+    {!t.stopped} as a typed verdict, never an exception.
+
+    Governor checkpoints sit at round granularity: deadline/cancellation
+    and the depth bound before each round, the atom bound after it.
 
     Evaluation is delta-driven (semi-naive): each round enumerates only
     the triggers that use an atom created in the previous round
@@ -54,12 +65,14 @@ val run :
 val level : t -> int -> Instance.t
 (** [level c k] is [Ch_k]; clamped to the last computed level. *)
 
-val timestamp : t -> Term.t -> int
-(** Definition 34; raises [Not_found] for terms outside the chase. *)
+val timestamp : t -> Term.t -> int option
+(** Definition 34; [None] for terms outside the chase (total — the seed's
+    bare [Not_found] is gone). *)
 
 val timestamp_multiset :
   t -> Term.Set.t -> Nca_graph.Multiset.Int_multiset.t
-(** [TSₘ(T)]: the multiset of timestamps of a set of terms. *)
+(** [TSₘ(T)]: the multiset of timestamps of a set of terms. Terms outside
+    the chase contribute nothing. *)
 
 val terms : t -> Term.Set.t
 val invented : t -> Term.Set.t

@@ -1,7 +1,12 @@
 open Nca_logic
 
 exception Not_datalog of Rule.t
-exception Budget of { resource : [ `Rounds | `Atoms ]; limit : int }
+
+type exhausted = {
+  err : Nca_obs.Exhausted.t;
+  partial : Instance.t;
+  rounds : int;
+}
 
 let check_datalog rules =
   List.iter
@@ -79,24 +84,57 @@ let round rules ~total ~delta =
     rules;
   Atom_tbl.fold (fun a () acc -> Instance.add a acc) fresh Instance.empty
 
-let saturate_steps ?(max_rounds = 10000) ?(max_atoms = 1_000_000) start rules
-    =
+let saturate_steps ~budget start rules =
   check_datalog rules;
   let rec go total delta n =
-    if Instance.is_empty delta then (total, n)
-    else if n > max_rounds then
-      raise (Budget { resource = `Rounds; limit = max_rounds })
-    else if Instance.cardinal total > max_atoms then
-      raise (Budget { resource = `Atoms; limit = max_atoms })
+    if Instance.is_empty delta then Ok (total, n)
     else
-      let fresh = round rules ~total ~delta in
-      go (Instance.union total fresh) fresh (n + 1)
+      let stop =
+        match Nca_obs.Budget.interrupted budget with
+        | Some _ as e -> e
+        | None -> (
+            match Nca_obs.Budget.rounds budget ~used:n with
+            | Some _ as e -> e
+            | None ->
+                Nca_obs.Budget.atoms budget ~used:(Instance.cardinal total))
+      in
+      match stop with
+      | Some err -> Error { err; partial = total; rounds = n }
+      | None ->
+          let fresh =
+            Nca_obs.Telemetry.span "datalog.round" (fun () ->
+                round rules ~total ~delta)
+          in
+          Nca_obs.Telemetry.count "datalog.atoms" (Instance.cardinal fresh);
+          go (Instance.union total fresh) fresh (n + 1)
   in
-  go start start 0
+  Nca_obs.Telemetry.span "datalog.saturate" @@ fun () ->
+  let result = go start start 0 in
+  (match result with
+  | Ok (_, n) -> Nca_obs.Telemetry.count "datalog.rounds" n
+  | Error { rounds; _ } -> Nca_obs.Telemetry.count "datalog.rounds" rounds);
+  result
 
-let saturate ?max_rounds ?max_atoms start rules =
-  fst (saturate_steps ?max_rounds ?max_atoms start rules)
+let saturate ?max_rounds ?max_atoms ?(budget = Nca_obs.Budget.unlimited)
+    start rules =
+  (* Datalog closures are finite, so the structural defaults are generous
+     safety valves rather than exploration bounds. *)
+  let budget =
+    Nca_obs.Budget.intersect budget
+      (Nca_obs.Budget.v
+         ~max_rounds:(Option.value ~default:10000 max_rounds)
+         ~max_atoms:(Option.value ~default:1_000_000 max_atoms)
+         ())
+  in
+  Result.map fst (saturate_steps ~budget start rules)
+
+let closure start rules =
+  match saturate_steps ~budget:Nca_obs.Budget.unlimited start rules with
+  | Ok (total, _) -> total
+  | Error _ -> assert false (* no bound to exhaust *)
 
 let rounds_to_fixpoint start rules =
+  match saturate_steps ~budget:Nca_obs.Budget.unlimited start rules with
   (* the final round derives nothing new *)
-  max 0 (snd (saturate_steps start rules) - 1)
+  | Ok (_, n) -> max 0 (n - 1)
+  | Error _ -> assert false

@@ -14,9 +14,15 @@ open Nca_logic
 
 exception Not_datalog of Rule.t
 
-exception Budget of { resource : [ `Rounds | `Atoms ]; limit : int }
-(** A saturation budget was exhausted — typed so callers (the lint CLI in
-    particular) can render it as a diagnostic instead of crashing. *)
+type exhausted = {
+  err : Nca_obs.Exhausted.t;  (** which resource ran out *)
+  partial : Instance.t;
+      (** the closure computed so far — a valid under-approximation (a
+          prefix of the semi-naive iteration) *)
+  rounds : int;  (** semi-naive rounds completed *)
+}
+(** Budget exhaustion is a value, not an exception: the seed's
+    [Datalog.Budget] exception (which only one CLI path caught) is gone. *)
 
 val seed_with : Atom.t -> Atom.t -> Subst.t option
 (** [seed_with atom fact] unifies a body atom against a concrete fact:
@@ -25,12 +31,21 @@ val seed_with : Atom.t -> Atom.t -> Subst.t option
     disagree with the fact. Total — malformed input yields [None], never
     an exception. *)
 
-val saturate : ?max_rounds:int -> ?max_atoms:int -> Instance.t -> Rule.t list -> Instance.t
-(** Least fixpoint of the Datalog rules over the instance. Raises
-    {!Not_datalog} on a rule with existential variables; budget overruns
-    raise {!Budget} (Datalog closures are finite, so the default budgets
-    are generous: 10000 rounds, 1_000_000 atoms). *)
+val saturate :
+  ?max_rounds:int -> ?max_atoms:int -> ?budget:Nca_obs.Budget.t ->
+  Instance.t -> Rule.t list -> (Instance.t, exhausted) result
+(** Least fixpoint of the Datalog rules over the instance, or a typed
+    exhaustion verdict with the partial closure. Raises {!Not_datalog} on
+    a rule with existential variables. The legacy [max_rounds]/[max_atoms]
+    arguments (defaults 10000 rounds, 1_000_000 atoms — Datalog closures
+    are finite, so these are safety valves) intersect with [budget];
+    deadline and cancellation are checked once per round. *)
+
+val closure : Instance.t -> Rule.t list -> Instance.t
+(** Unbudgeted least fixpoint — total, since Datalog closures are finite.
+    The convenience entry point for callers that want the full closure
+    and no budget story (tests, benchmarks, examples). *)
 
 val rounds_to_fixpoint : Instance.t -> Rule.t list -> int
 (** Number of semi-naive rounds until saturation (a recursion-depth
-    measure). *)
+    measure); unbudgeted. *)

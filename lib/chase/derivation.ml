@@ -14,7 +14,7 @@ let rec of_term chase term =
       {
         term;
         rule = None;
-        level = Chase.timestamp chase term;
+        level = Option.value ~default:0 (Chase.timestamp chase term);
         body_image = [];
         premises = [];
       }

@@ -26,9 +26,9 @@ let is_model inst rules = Option.is_none (unsatisfied_trigger rules inst)
 type outcome =
   | Model of Instance.t
   | No_model
-  | Budget
+  | Exhausted of Nca_obs.Exhausted.t
 
-exception Out_of_budget
+exception Stop of Nca_obs.Exhausted.t
 
 (* All assignments of [vars] to [domain], as substitutions. *)
 let assignments vars domain =
@@ -39,7 +39,14 @@ let assignments vars domain =
         partial)
     [ Subst.empty ] vars
 
-let search ?(fresh = 2) ?(max_steps = 200000) ?forbid start rules =
+let search ?(fresh = 2) ?max_steps ?forbid
+    ?(budget = Nca_obs.Budget.unlimited) start rules =
+  let budget =
+    Nca_obs.Budget.intersect budget
+      (Nca_obs.Budget.v
+         ~max_steps:(Option.value ~default:200000 max_steps)
+         ())
+  in
   let domain =
     (* name order: the DFS tries domain elements in list order, so the
        model found must not depend on intern-id order *)
@@ -52,7 +59,14 @@ let search ?(fresh = 2) ?(max_steps = 200000) ?forbid start rules =
   in
   let rec dfs inst =
     incr steps;
-    if !steps > max_steps then raise Out_of_budget;
+    (match Nca_obs.Budget.steps budget ~used:!steps with
+    | Some e -> raise (Stop e)
+    | None -> ());
+    (* deadline/cancellation checkpoints amortized over the DFS nodes *)
+    if !steps land 255 = 0 then (
+      match Nca_obs.Budget.interrupted budget with
+      | Some e -> raise (Stop e)
+      | None -> ());
     match unsatisfied_trigger rules inst with
     | None -> Some inst
     | Some tr ->
@@ -72,15 +86,27 @@ let search ?(fresh = 2) ?(max_steps = 200000) ?forbid start rules =
             if allowed inst' then dfs inst' else None)
           candidates
   in
-  if not (allowed start) then No_model
-  else
-    match dfs start with
-    | Some m -> Model m
-    | None -> No_model
-    | exception Out_of_budget -> Budget
+  Nca_obs.Telemetry.span "finite_model.search" @@ fun () ->
+  let outcome =
+    if not (allowed start) then No_model
+    else
+      match dfs start with
+      | Some m -> Model m
+      | None -> No_model
+      | exception Stop e -> Exhausted e
+  in
+  Nca_obs.Telemetry.count "finite_model.nodes" !steps;
+  outcome
 
-let loop_free_model_exists ?fresh ?max_steps ~e start rules =
-  match search ?fresh ?max_steps ~forbid:(Cq.loop_query e) start rules with
-  | Model _ -> Some true
-  | No_model -> Some false
-  | Budget -> None
+type verdict =
+  | Exists
+  | Absent
+  | Unknown of Nca_obs.Exhausted.t
+
+let loop_free_model_exists ?fresh ?max_steps ?budget ~e start rules =
+  match
+    search ?fresh ?max_steps ?budget ~forbid:(Cq.loop_query e) start rules
+  with
+  | Model _ -> Exists
+  | No_model -> Absent
+  | Exhausted e -> Unknown e

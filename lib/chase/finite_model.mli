@@ -26,22 +26,33 @@ val violations : Instance.t -> Rule.t list -> Trigger.t list
 type outcome =
   | Model of Instance.t
   | No_model  (** search space exhausted: no such model within the budget *)
-  | Budget  (** step budget exhausted before a verdict *)
+  | Exhausted of Nca_obs.Exhausted.t
+      (** a resource ran out before a verdict — which one, and where *)
 
 val search :
   ?fresh:int ->
   ?max_steps:int ->
   ?forbid:Cq.t ->
+  ?budget:Nca_obs.Budget.t ->
   Instance.t ->
   Rule.t list ->
   outcome
 (** [search ~fresh ~forbid i rules] looks for a finite model of [i] and
     [rules] over [adom i] plus [fresh] extra elements (default 2) that
     does not satisfy [forbid]. [max_steps] (default 200000) bounds the
-    number of search nodes. *)
+    number of search nodes and intersects with [budget]; the step bound
+    is checked at every DFS node, deadline/cancellation every 256 nodes. *)
+
+type verdict =
+  | Exists  (** the bounded search found such a model *)
+  | Absent  (** the bounded search space holds no such model *)
+  | Unknown of Nca_obs.Exhausted.t
+      (** a resource ran out — {e not} a proof-relevant negative: an
+          exhausted search says nothing about the (bdd ⇒ fc) gap *)
 
 val loop_free_model_exists :
-  ?fresh:int -> ?max_steps:int -> e:Symbol.t -> Instance.t -> Rule.t list ->
-  bool option
-(** [Some true]/[Some false] when the bounded search is conclusive,
-    [None] on budget exhaustion. *)
+  ?fresh:int -> ?max_steps:int -> ?budget:Nca_obs.Budget.t ->
+  e:Symbol.t -> Instance.t -> Rule.t list -> verdict
+(** Three-valued so budget exhaustion can never be read as a conclusive
+    answer (the seed's [bool option] invited [<> Some true] checks that
+    conflated [Absent] with [Unknown]). *)

@@ -3,7 +3,7 @@ open Nca_logic
 type verdict = {
   depth : int;
   saturated : bool;
-  truncated : bool;
+  stopped : Nca_obs.Exhausted.t option;
   atoms : int;
   max_tournament : int;
   tournament : Term.t list;
@@ -11,15 +11,16 @@ type verdict = {
   loop_level : int option;
 }
 
-let validate ?(max_depth = 6) ?(max_atoms = 20000) ~e i rules =
-  let chase = Nca_chase.Chase.run ~max_depth ~max_atoms i rules in
+let validate ?(max_depth = 6) ?(max_atoms = 20000) ?budget ~e i rules =
+  Nca_obs.Telemetry.span "theorem1.validate" @@ fun () ->
+  let chase = Nca_chase.Chase.run ~max_depth ~max_atoms ?budget i rules in
   let graph = Nca_chase.Chase.e_graph e chase in
   let tournament = Nca_graph.Tournament.max_tournament graph in
   let loop_level = Nca_chase.Chase.holds_at chase (Cq.loop_query e) in
   {
     depth = chase.Nca_chase.Chase.depth;
     saturated = chase.Nca_chase.Chase.saturated;
-    truncated = chase.Nca_chase.Chase.truncated;
+    stopped = chase.Nca_chase.Chase.stopped;
     atoms = Instance.cardinal chase.Nca_chase.Chase.instance;
     max_tournament = List.length tournament;
     tournament;
@@ -40,8 +41,8 @@ type point = {
   level_loop : bool;
 }
 
-let series ?(max_depth = 6) ?(max_atoms = 20000) ~e i rules =
-  let chase = Nca_chase.Chase.run ~max_depth ~max_atoms i rules in
+let series ?(max_depth = 6) ?(max_atoms = 20000) ?budget ~e i rules =
+  let chase = Nca_chase.Chase.run ~max_depth ~max_atoms ?budget i rules in
   let loop = Cq.loop_query e in
   List.mapi
     (fun level inst ->
@@ -54,11 +55,22 @@ let series ?(max_depth = 6) ?(max_atoms = 20000) ~e i rules =
       })
     chase.Nca_chase.Chase.levels
 
+(* The structural bounds print " truncated" exactly as the seed did (they
+   are the requested exploration depth); a wall-clock or cancellation stop
+   is an anomaly and names its resource. *)
+let pp_stopped ppf = function
+  | None -> ()
+  | Some e -> (
+      match e.Nca_obs.Exhausted.resource with
+      | Nca_obs.Exhausted.Depth | Nca_obs.Exhausted.Atoms ->
+          Fmt.string ppf " truncated"
+      | _ -> Fmt.pf ppf " stopped:%s" (Nca_obs.Exhausted.tag e))
+
 let pp_verdict ppf v =
   Fmt.pf ppf
-    "depth=%d atoms=%d max-tournament=%d loop=%b%a%s%s" v.depth v.atoms
+    "depth=%d atoms=%d max-tournament=%d loop=%b%a%s%a" v.depth v.atoms
     v.max_tournament v.loop
     Fmt.(option (fmt "@%d"))
     v.loop_level
     (if v.saturated then " saturated" else "")
-    (if v.truncated then " truncated" else "")
+    pp_stopped v.stopped

@@ -13,7 +13,9 @@ open Nca_logic
 type verdict = {
   depth : int;  (** chase levels actually computed *)
   saturated : bool;
-  truncated : bool;
+  stopped : Nca_obs.Exhausted.t option;
+      (** why the chase stopped before saturation (the seed's [truncated]
+          flag, now carrying the resource); [None] iff [saturated] *)
   atoms : int;
   max_tournament : int;
   tournament : Term.t list;  (** a maximum tournament *)
@@ -22,8 +24,8 @@ type verdict = {
 }
 
 val validate :
-  ?max_depth:int -> ?max_atoms:int -> e:Symbol.t -> Instance.t -> Rule.t list ->
-  verdict
+  ?max_depth:int -> ?max_atoms:int -> ?budget:Nca_obs.Budget.t ->
+  e:Symbol.t -> Instance.t -> Rule.t list -> verdict
 
 val implication_holds : threshold:int -> verdict -> bool
 (** [max_tournament ≥ threshold → loop]: the finite shadow of
@@ -42,8 +44,8 @@ type point = {
 }
 
 val series :
-  ?max_depth:int -> ?max_atoms:int -> e:Symbol.t -> Instance.t -> Rule.t list ->
-  point list
+  ?max_depth:int -> ?max_atoms:int -> ?budget:Nca_obs.Budget.t ->
+  e:Symbol.t -> Instance.t -> Rule.t list -> point list
 (** Per-level evolution of the chase: atoms, max tournament, loop — the
     data behind the growth figures. *)
 

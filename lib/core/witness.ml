@@ -7,23 +7,35 @@ type t = {
   existential : Rule.t list;
   chase_ex : Nca_chase.Chase.t;
   full : Instance.t;
+  closure_stopped : Nca_obs.Exhausted.t option;
   e : Symbol.t;
   rewriting : Ucq.t;
   rewriting_complete : bool;
 }
 
-let analyze ?(depth = 6) ?max_rounds ?max_disjuncts ~e rules =
+let analyze ?(depth = 6) ?max_rounds ?max_disjuncts
+    ?(budget = Nca_obs.Budget.unlimited) ~e rules =
+  Nca_obs.Telemetry.span "witness.analyze" @@ fun () ->
   let datalog, existential = Rule.split_datalog rules in
-  let chase_ex = Nca_chase.Chase.run ~max_depth:depth Instance.top existential in
+  let chase_ex =
+    Nca_chase.Chase.run ~max_depth:depth ~budget Instance.top existential
+  in
   (* the Datalog closure is finite: use the semi-naive engine (equivalence
-     with the generic chase is part of the test suite) *)
-  let full_closure =
-    Nca_chase.Datalog.saturate ~max_atoms:200000
-      chase_ex.Nca_chase.Chase.instance datalog
+     with the generic chase is part of the test suite). On exhaustion the
+     partial closure is still a sound under-approximation — downstream
+     verdicts must consult [closure_stopped] before reading absence of an
+     edge as a fact. *)
+  let full_closure, closure_stopped =
+    match
+      Nca_chase.Datalog.saturate ~max_atoms:200000 ~budget
+        chase_ex.Nca_chase.Chase.instance datalog
+    with
+    | Ok total -> (total, None)
+    | Error { Nca_chase.Datalog.err; partial; _ } -> (partial, Some err)
   in
   let outcome =
     Nca_rewriting.Injective.injective_rewriting ?max_rounds ?max_disjuncts
-      rules (Cq.atom_query e)
+      ~budget rules (Cq.atom_query e)
   in
   {
     rules;
@@ -31,6 +43,7 @@ let analyze ?(depth = 6) ?max_rounds ?max_disjuncts ~e rules =
     existential;
     chase_ex;
     full = full_closure;
+    closure_stopped;
     e;
     rewriting = outcome.Nca_rewriting.Rewrite.ucq;
     rewriting_complete = outcome.Nca_rewriting.Rewrite.complete;

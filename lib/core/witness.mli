@@ -19,6 +19,10 @@ type t = {
   existential : Rule.t list;
   chase_ex : Nca_chase.Chase.t;  (** [Ch(R^∃)] from [{⊤}] *)
   full : Instance.t;  (** [Ch(Ch(R^∃), R^DL)] *)
+  closure_stopped : Nca_obs.Exhausted.t option;
+      (** the Datalog closure's exhaustion verdict; when [Some _], [full]
+          is a sound under-approximation and absence of an edge in it is
+          not evidence *)
   e : Symbol.t;
   rewriting : Ucq.t;  (** [Q_⊠], the injective rewriting of [E(x,y)] *)
   rewriting_complete : bool;
@@ -28,11 +32,13 @@ val analyze :
   ?depth:int ->
   ?max_rounds:int ->
   ?max_disjuncts:int ->
+  ?budget:Nca_obs.Budget.t ->
   e:Symbol.t ->
   Rule.t list ->
   t
 (** Build the Section-5 data for a (regal) rule set. [depth] bounds both
-    chases (default 6). *)
+    chases (default 6); [budget] governs the existential chase, the
+    Datalog closure and the injective rewriting alike. *)
 
 val edges : t -> (Term.t * Term.t) list
 (** The E-edges of the full chase. *)

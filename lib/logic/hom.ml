@@ -36,7 +36,10 @@ let match_atom ~inj st a b =
    expanded before a goal ranging over a large relation. Each goal
    carries its own target instance, so delta-driven enumeration can pin
    different body atoms to different strata of the same instance. *)
-let pick st goals =
+(* Only ever called on a non-empty goal list ([solve] handles the empty
+   conjunction — a valid query with exactly the identity match — before
+   calling this), so no "empty" failure case exists at all. *)
+let pick_ne st g rest =
   let score (a, tgt) = Instance.candidate_count a st.sub tgt in
   let rec go best best_score acc = function
     | [] -> (best, List.rev acc)
@@ -47,16 +50,14 @@ let pick st goals =
           if s < best_score then go g s (best :: acc) rest
           else go best best_score (g :: acc) rest
   in
-  match goals with
-  | [] -> invalid_arg "Hom.pick: empty"
-  | g :: rest -> go g (score g) [] rest
+  go g (score g) [] rest
 
 let solve ~inj ~init goals f =
   let used = if inj then Subst.range init else Term.Set.empty in
   let rec go st = function
     | [] -> f st.sub
-    | goals ->
-        let (a, tgt), rest = pick st goals in
+    | g :: gs ->
+        let (a, tgt), rest = pick_ne st g gs in
         List.iter
           (fun b ->
             match match_atom ~inj st a b with

@@ -1,0 +1,43 @@
+type resource =
+  | Wall_clock
+  | Cancelled
+  | Depth
+  | Rounds
+  | Atoms
+  | Steps
+  | Disjuncts
+
+type t = { resource : resource; limit : int; used : int }
+
+let cancelled = { resource = Cancelled; limit = 0; used = 0 }
+
+let tag e =
+  match e.resource with
+  | Wall_clock -> "wall-clock"
+  | Cancelled -> "cancelled"
+  | Depth -> "depth"
+  | Rounds -> "rounds"
+  | Atoms -> "atoms"
+  | Steps -> "steps"
+  | Disjuncts -> "disjuncts"
+
+let pp ppf e =
+  match e.resource with
+  | Cancelled -> Fmt.pf ppf "cancelled at a governor checkpoint"
+  | Wall_clock ->
+      if e.limit > 0 then
+        Fmt.pf ppf "wall-clock budget exhausted (deadline %d ms)" e.limit
+      else Fmt.pf ppf "wall-clock deadline passed"
+  | Depth -> Fmt.pf ppf "depth budget exhausted (limit %d)" e.limit
+  | Rounds ->
+      Fmt.pf ppf "rounds budget exhausted (limit %d, at round %d)" e.limit
+        e.used
+  | Atoms ->
+      Fmt.pf ppf "atom budget exhausted (limit %d, reached %d)" e.limit e.used
+  | Steps ->
+      Fmt.pf ppf "step budget exhausted (limit %d, at step %d)" e.limit e.used
+  | Disjuncts ->
+      Fmt.pf ppf "disjunct budget exhausted (limit %d, reached %d)" e.limit
+        e.used
+
+let to_string e = Fmt.str "%a" pp e

@@ -40,11 +40,18 @@ let methods_agree ?depth ?max_rounds rules i q =
       let forward = answers_via_chase ?depth rules i q in
       Some (sort_tuples backward = sort_tuples forward)
 
-let rewrite_composed ?max_rounds ?max_disjuncts r1 r2 q =
-  let inner = Rewrite.rewrite ?max_rounds ?max_disjuncts r2 q in
-  let outer = Rewrite.rewrite_ucq ?max_rounds ?max_disjuncts r1 inner.ucq in
+let rewrite_composed ?max_rounds ?max_disjuncts ?budget r1 r2 q =
+  let inner = Rewrite.rewrite ?max_rounds ?max_disjuncts ?budget r2 q in
+  let outer =
+    Rewrite.rewrite_ucq ?max_rounds ?max_disjuncts ?budget r1 inner.ucq
+  in
   {
     outer with
     Rewrite.complete = inner.complete && outer.Rewrite.complete;
+    (* the inner stage's verdict wins: it ran (and stopped) first *)
+    stopped =
+      (match inner.Rewrite.stopped with
+      | Some _ as s -> s
+      | None -> outer.Rewrite.stopped);
     generated = inner.generated + outer.Rewrite.generated;
   }

@@ -37,8 +37,8 @@ val methods_agree :
     compare against soundly). *)
 
 val rewrite_composed :
-  ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> Rule.t list ->
-  Cq.t -> Rewrite.outcome
+  ?max_rounds:int -> ?max_disjuncts:int -> ?budget:Nca_obs.Budget.t ->
+  Rule.t list -> Rule.t list -> Cq.t -> Rewrite.outcome
 (** Lemma 5: rewrite against [r2], then rewrite the result against [r1] —
     a rewriting for [r1 ∪ r2] whenever the chases commute
     ([Ch(Ch(I,R₁),R₂) ↔ Ch(I,R₁∪R₂)]). *)

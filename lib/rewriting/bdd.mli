@@ -17,13 +17,18 @@ type verdict = {
   query : Cq.t;
   constant : int option;  (** upper bound on [bdd(q, R)]; [None] = budget out *)
   rewriting : Ucq.t;
+  stopped : Nca_obs.Exhausted.t option;
+      (** which resource ended the rewriting; [None] iff a fixpoint was
+          reached ([constant] is [Some _]) *)
 }
 
-val for_query : ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> Cq.t -> verdict
+val for_query :
+  ?max_rounds:int -> ?max_disjuncts:int -> ?budget:Nca_obs.Budget.t ->
+  Rule.t list -> Cq.t -> verdict
 
 val for_signature :
-  ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> Symbol.Set.t ->
-  verdict list
+  ?max_rounds:int -> ?max_disjuncts:int -> ?budget:Nca_obs.Budget.t ->
+  Rule.t list -> Symbol.Set.t -> verdict list
 (** One verdict per atomic query [P(x̄)] of the signature. *)
 
 val certified : verdict list -> bool

@@ -82,6 +82,6 @@ let of_ucq u =
   in
   Ucq.make (dedup [] disjuncts)
 
-let injective_rewriting ?max_rounds ?max_disjuncts rules q =
-  let outcome = Rewrite.rewrite ?max_rounds ?max_disjuncts rules q in
+let injective_rewriting ?max_rounds ?max_disjuncts ?budget rules q =
+  let outcome = Rewrite.rewrite ?max_rounds ?max_disjuncts ?budget rules q in
   { outcome with ucq = of_ucq outcome.ucq }

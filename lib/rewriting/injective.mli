@@ -22,8 +22,8 @@ val of_ucq : Ucq.t -> Ucq.t
 (** [Q_inj] as in Proposition 6, with isomorphic duplicates removed. *)
 
 val injective_rewriting :
-  ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> Cq.t ->
-  Rewrite.outcome
+  ?max_rounds:int -> ?max_disjuncts:int -> ?budget:Nca_obs.Budget.t ->
+  Rule.t list -> Cq.t -> Rewrite.outcome
 (** [rew_inj(q, R)]: the plain rewriting (minimized) followed by the
     specialization closure. The [ucq] field of the result is [Q_inj]. *)
 

@@ -4,6 +4,7 @@ type outcome = {
   ucq : Ucq.t;
   rounds : int;
   complete : bool;
+  stopped : Nca_obs.Exhausted.t option;
   generated : int;
 }
 
@@ -11,21 +12,40 @@ let dedup_body q =
   Cq.make ~answer:(Cq.answer q)
     (List.sort_uniq Atom.compare_structural (Cq.body q))
 
-let rewrite_ucq ?(max_rounds = 12) ?(max_disjuncts = 2000) ?(minimize = true)
-    rules start =
+let rewrite_ucq ?max_rounds ?max_disjuncts ?(minimize = true)
+    ?(budget = Nca_obs.Budget.unlimited) rules start =
+  let budget =
+    Nca_obs.Budget.intersect budget
+      (Nca_obs.Budget.v
+         ~max_rounds:(Option.value ~default:12 max_rounds)
+         ~max_disjuncts:(Option.value ~default:2000 max_disjuncts)
+         ())
+  in
   let generated = ref 0 in
   let rec go all frontier round =
-    if round >= max_rounds || List.length all > max_disjuncts then
-      { ucq = Ucq.cover (Ucq.make all); rounds = round; complete = false;
-        generated = !generated }
-    else begin
+    let stop =
+      match Nca_obs.Budget.interrupted budget with
+      | Some _ as e -> e
+      | None -> (
+          match Nca_obs.Budget.rounds_reached budget ~used:round with
+          | Some _ as e -> e
+          | None ->
+              Nca_obs.Budget.disjuncts budget ~used:(List.length all))
+    in
+    match stop with
+    | Some _ ->
+        { ucq = Ucq.cover (Ucq.make all); rounds = round; complete = false;
+          stopped = stop; generated = !generated }
+    | None ->
       let produced =
+        Nca_obs.Telemetry.span "rewrite.round" @@ fun () ->
         List.concat_map
           (fun q ->
             List.map dedup_body (Piece.rewrite_step_all rules q))
           frontier
       in
       generated := !generated + List.length produced;
+      Nca_obs.Telemetry.count "rewrite.generated" (List.length produced);
       (* Keep only CQs not subsumed by anything already known. *)
       let fresh =
         if minimize then
@@ -72,17 +92,23 @@ let rewrite_ucq ?(max_rounds = 12) ?(max_disjuncts = 2000) ?(minimize = true)
           |> List.rev
         end
       in
-      if fresh = [] then
-        { ucq = Ucq.cover (Ucq.make all); rounds = round; complete = true;
-          generated = !generated }
-      else go (all @ fresh) fresh (round + 1)
-    end
+      match Nca_obs.Budget.steps budget ~used:!generated with
+      | Some _ as stop ->
+          (* the CQs of the over-full round are kept: the cover minimizes *)
+          { ucq = Ucq.cover (Ucq.make (all @ fresh)); rounds = round;
+            complete = false; stopped = stop; generated = !generated }
+      | None ->
+          if fresh = [] then
+            { ucq = Ucq.cover (Ucq.make all); rounds = round;
+              complete = true; stopped = None; generated = !generated }
+          else go (all @ fresh) fresh (round + 1)
   in
+  Nca_obs.Telemetry.span "rewrite" @@ fun () ->
   let start_disjuncts = List.map dedup_body (Ucq.disjuncts start) in
   go start_disjuncts start_disjuncts 0
 
-let rewrite ?max_rounds ?max_disjuncts ?minimize rules q =
-  rewrite_ucq ?max_rounds ?max_disjuncts ?minimize rules (Ucq.of_cq q)
+let rewrite ?max_rounds ?max_disjuncts ?minimize ?budget rules q =
+  rewrite_ucq ?max_rounds ?max_disjuncts ?minimize ?budget rules (Ucq.of_cq q)
 
 let sound_for chase base outcome =
   List.for_all

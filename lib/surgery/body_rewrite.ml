@@ -4,6 +4,7 @@ type result = {
   rules : Rule.t list;
   added : int;
   complete : bool;
+  stopped : Nca_obs.Exhausted.t option;
 }
 
 (* A rule equals another up to renaming when their bodies and heads are
@@ -30,12 +31,12 @@ let same_rule r1 r2 =
   let b1, h1 = as_cq r1 and b2, h2 = as_cq r2 in
   List.equal Atom.equal b1 b2 && List.equal Atom.equal h1 h2
 
-let rewrite_rule ?max_rounds ?max_disjuncts all_rules rho =
+let rewrite_rule ?max_rounds ?max_disjuncts ?budget all_rules rho =
   let frontier = Term.sorted_elements (Rule.frontier rho) in
   let body_query = Cq.make ~answer:frontier (Rule.body rho) in
   let outcome =
-    Nca_rewriting.Rewrite.rewrite ?max_rounds ?max_disjuncts all_rules
-      body_query
+    Nca_rewriting.Rewrite.rewrite ?max_rounds ?max_disjuncts ?budget
+      all_rules body_query
   in
   let rules =
     List.mapi
@@ -54,23 +55,28 @@ let rewrite_rule ?max_rounds ?max_disjuncts all_rules rho =
           (Subst.apply_atoms head_subst (Rule.head rho)))
       (Ucq.disjuncts outcome.ucq)
   in
-  (rules, outcome.complete)
+  (rules, outcome.complete, outcome.stopped)
 
-let apply ?max_rounds ?max_disjuncts rules =
+let apply ?max_rounds ?max_disjuncts ?budget rules =
   (* Definition 29 states the surgery for existential rules; quickness
      (Lemma 32) additionally needs Datalog heads derivable in one step, so
      we rewrite every rule body — Lemma 30 is unaffected, as each added
      rule is sound and subsumed by a derivation in the original set. *)
-  let added, complete =
+  let added, complete, stopped =
     List.fold_left
-      (fun (acc, complete) rho ->
-        let rw, c = rewrite_rule ?max_rounds ?max_disjuncts rules rho in
+      (fun (acc, complete, stopped) rho ->
+        let rw, c, s =
+          rewrite_rule ?max_rounds ?max_disjuncts ?budget rules rho
+        in
         let fresh =
           List.filter
             (fun r -> not (List.exists (same_rule r) (rules @ acc)))
             rw
         in
-        (acc @ fresh, complete && c))
-      ([], true) rules
+        ( acc @ fresh,
+          complete && c,
+          (* first rule whose body rewriting ran out of a resource *)
+          match stopped with Some _ -> stopped | None -> s ))
+      ([], true, None) rules
   in
-  { rules = rules @ added; added = List.length added; complete }
+  { rules = rules @ added; added = List.length added; complete; stopped }

@@ -20,9 +20,15 @@ type result = {
   rules : Rule.t list;  (** [rew(S)] *)
   added : int;  (** how many rules were added *)
   complete : bool;  (** all body rewritings reached their fixpoint *)
+  stopped : Nca_obs.Exhausted.t option;
+      (** the first resource verdict from an incomplete body rewriting;
+          [None] iff [complete] *)
 }
 
-val apply : ?max_rounds:int -> ?max_disjuncts:int -> Rule.t list -> result
+val apply :
+  ?max_rounds:int -> ?max_disjuncts:int -> ?budget:Nca_obs.Budget.t ->
+  Rule.t list -> result
 (** Compute [rew(S)]. [complete = false] signals that some body rewriting
-    exhausted its budget: the result is then sound (a subset of the full
-    [rew(S)] containing [S]) but quickness is not guaranteed. *)
+    exhausted a resource ([stopped] says which): the result is then sound
+    (a subset of the full [rew(S)] containing [S]) but quickness is not
+    guaranteed. *)

@@ -15,6 +15,7 @@ type t = {
   steps : step list;
   final : Rule.t list;
   complete : bool;
+  stopped : Nca_obs.Exhausted.t option;
 }
 
 let guard stage f =
@@ -96,8 +97,13 @@ let check_rew (rw : Body_rewrite.result) =
     };
   ]
 
-let regalize ?max_rounds ?max_disjuncts i rules =
-  let encoded = guard "encode" (fun () -> Encode.encode i rules) in
+let regalize ?max_rounds ?max_disjuncts ?budget i rules =
+  Nca_obs.Telemetry.span "pipeline" @@ fun () ->
+  let staged name f = Nca_obs.Telemetry.span ("pipeline." ^ name) f in
+  let encoded =
+    staged "encode" @@ fun () ->
+    guard "encode" (fun () -> Encode.encode i rules)
+  in
   let step1 =
     {
       label = "encode";
@@ -107,6 +113,7 @@ let regalize ?max_rounds ?max_disjuncts i rules =
     }
   in
   let reified =
+    staged "reify" @@ fun () ->
     guard "reify" (fun () ->
         if Reify.needed encoded then Reify.rules encoded else encoded)
   in
@@ -120,7 +127,10 @@ let regalize ?max_rounds ?max_disjuncts i rules =
       checks = check_binary "reify" reified;
     }
   in
-  let streamlined = guard "streamline" (fun () -> Streamline.apply reified) in
+  let streamlined =
+    staged "streamline" @@ fun () ->
+    guard "streamline" (fun () -> Streamline.apply reified)
+  in
   let step3 =
     {
       label = "streamline";
@@ -130,8 +140,9 @@ let regalize ?max_rounds ?max_disjuncts i rules =
     }
   in
   let rw =
+    staged "body-rewrite" @@ fun () ->
     guard "body-rewrite" (fun () ->
-        Body_rewrite.apply ?max_rounds ?max_disjuncts streamlined)
+        Body_rewrite.apply ?max_rounds ?max_disjuncts ?budget streamlined)
   in
   let step4 =
     {
@@ -148,6 +159,7 @@ let regalize ?max_rounds ?max_disjuncts i rules =
     steps = [ step1; step2; step3; step4 ];
     final = rw.rules;
     complete = rw.complete;
+    stopped = rw.stopped;
   }
 
 let failed_checks t =

@@ -31,10 +31,13 @@ type t = {
   steps : step list;  (** encode → reify → streamline → body-rewrite *)
   final : Rule.t list;  (** the regal rule set *)
   complete : bool;  (** every rewriting budget sufficed *)
+  stopped : Nca_obs.Exhausted.t option;
+      (** which resource cut body rewriting short; [None] iff [complete] *)
 }
 
 val regalize :
-  ?max_rounds:int -> ?max_disjuncts:int -> Instance.t -> Rule.t list -> t
+  ?max_rounds:int -> ?max_disjuncts:int -> ?budget:Nca_obs.Budget.t ->
+  Instance.t -> Rule.t list -> t
 (** Runs the four surgeries in order. Each stage re-checks the invariant
     it claims to establish — encoding covers the instance (Def. 12),
     reification yields a binary signature, streamlining yields

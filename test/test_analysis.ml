@@ -177,7 +177,8 @@ let test_derivation_of_null () =
         match acc with
         | Some _ -> acc
         | None ->
-            if Nca_chase.Chase.timestamp chase t = 3 then Some t else None)
+            if Nca_chase.Chase.timestamp chase t = Some 3 then Some t
+            else None)
       (Nca_chase.Chase.invented chase)
       None
   in

@@ -22,7 +22,7 @@ let e s t = Atom.app "E" [ s; t ]
 let test_datalog_transitive_closure () =
   let rules = Parser.parse_rules "tc: E(x,y), E(y,z) -> E(x,z)." in
   let i = Parser.instance "E(a,b), E(b,c), E(c,d)" in
-  let closure = Datalog.saturate i rules in
+  let closure = Datalog.closure i rules in
   (* 3 base + ac, bd, ad *)
   check_int "full transitive closure" 6 (Instance.cardinal closure);
   check "ad derived" true
@@ -32,7 +32,7 @@ let test_datalog_rejects_existentials () =
   let rules = Parser.parse_rules "s: E(x,y) -> E(y,z)." in
   check "existential rejected" true
     (try
-       ignore (Datalog.saturate Instance.empty rules);
+       ignore (Datalog.closure Instance.empty rules);
        false
      with Datalog.Not_datalog _ -> true)
 
@@ -41,7 +41,7 @@ let test_datalog_agrees_with_chase () =
     (fun (rules_src, facts) ->
       let rules = Parser.parse_rules rules_src in
       let i = Parser.instance facts in
-      let semi = Datalog.saturate i rules in
+      let semi = Datalog.closure i rules in
       let chase = Chase.run ~max_depth:20 i rules in
       check "saturated chase" true chase.saturated;
       check
@@ -69,12 +69,12 @@ let test_datalog_rounds () =
   let rounds = Datalog.rounds_to_fixpoint (chain 8) rules in
   check "few rounds" true (rounds >= 2 && rounds <= 5);
   check_int "closure size" 36
-    (Instance.cardinal (Datalog.saturate (chain 8) rules))
+    (Instance.cardinal (Datalog.closure (chain 8) rules))
 
 let test_datalog_empty_delta_terminates () =
   let rules = Parser.parse_rules "tc: E(x,y), E(y,z) -> E(x,z)." in
   let i = Parser.instance "E(a,b)" in
-  check_int "nothing to derive" 1 (Instance.cardinal (Datalog.saturate i rules))
+  check_int "nothing to derive" 1 (Instance.cardinal (Datalog.closure i rules))
 
 let test_datalog_lemma33_decomposition () =
   (* Ch(Ch(R∃), R^DL) computed with the Datalog engine agrees with the
@@ -82,7 +82,7 @@ let test_datalog_lemma33_decomposition () =
   let entry = Rulesets.example1_bdd in
   let datalog, existential = Rule.split_datalog entry.rules in
   let ex = Chase.run ~max_depth:4 entry.instance existential in
-  let via_engine = Datalog.saturate ex.instance datalog in
+  let via_engine = Datalog.closure ex.instance datalog in
   let via_chase = Chase.run ~max_depth:10 ex.instance datalog in
   check "saturated" true via_chase.saturated;
   check "engines agree on the DL closure" true
@@ -230,7 +230,7 @@ let prop_datalog_chase_agree =
       let rules =
         Parser.parse_rules "sym: E(x,y) -> E(y,x). tc: E(x,y), E(y,z) -> E(x,z)."
       in
-      let semi = Datalog.saturate i rules in
+      let semi = Datalog.closure i rules in
       let chase = Chase.run ~max_depth:30 ~max_atoms:100000 i rules in
       chase.saturated && Instance.equal semi chase.instance)
 

@@ -258,7 +258,7 @@ let test_search_finds_model () =
       check "search result is a model" true
         (Finite_model.is_model m entry.rules);
       check "the model has a loop" true (Cq.holds m (Cq.loop_query e2))
-  | No_model | Budget -> Alcotest.fail "expected a finite model"
+  | No_model | Exhausted _ -> Alcotest.fail "expected a finite model"
 
 let test_example1_not_fc_witness () =
   (* no loop-free finite model at any small budget, yet the chase is
@@ -269,11 +269,11 @@ let test_example1_not_fc_witness () =
         Finite_model.loop_free_model_exists ~fresh ~e:e2
           Rulesets.example1.instance Rulesets.example1.rules
       with
-      | Some exists ->
-          check
-            (Fmt.str "no loop-free finite model (+%d)" fresh)
-            false exists
-      | None -> Alcotest.fail "budget exhausted")
+      | Finite_model.Absent ->
+          check (Fmt.str "no loop-free finite model (+%d)" fresh) true true
+      | Finite_model.Exists ->
+          Alcotest.fail "found a loop-free finite model"
+      | Finite_model.Unknown _ -> Alcotest.fail "budget exhausted")
     [ 0; 1; 2 ];
   let chase =
     Chase.run ~max_depth:5 Rulesets.example1.instance Rulesets.example1.rules
@@ -285,7 +285,7 @@ let test_symmetric_has_loop_free_model () =
   check "symmetric closure has a loop-free finite model" true
     (Finite_model.loop_free_model_exists ~fresh:0 ~e:e2
        Rulesets.symmetric.instance Rulesets.symmetric.rules
-    = Some true)
+    = Finite_model.Exists)
 
 let test_forbid_respected () =
   (* forbidding E(x,y) entirely: E(a,b) itself violates it *)
@@ -298,7 +298,7 @@ let test_search_empty_rules () =
   match Finite_model.search (Parser.instance "E(a,b)") [] with
   | Model m -> check "instance is its own model" true
       (Instance.equal m (Parser.instance "E(a,b)"))
-  | No_model | Budget -> Alcotest.fail "expected the instance back"
+  | No_model | Exhausted _ -> Alcotest.fail "expected the instance back"
 
 let test_succ_only_needs_cycle () =
   (* E(x,y) → ∃z E(y,z) has loop-free finite models: a cycle through a
@@ -306,7 +306,7 @@ let test_succ_only_needs_cycle () =
   check "successor has a loop-free finite model" true
     (Finite_model.loop_free_model_exists ~fresh:1 ~e:e2
        Rulesets.succ_only.instance Rulesets.succ_only.rules
-    = Some true)
+    = Finite_model.Exists)
 
 let test_chase_maps_into_finite_models () =
   (* universality made concrete: the chase prefix maps homomorphically
@@ -321,7 +321,7 @@ let test_chase_maps_into_finite_models () =
           in
           check (name ^ ": chase → finite model") true
             (Hom.exists (Instance.atoms chase.instance) m)
-      | No_model | Budget -> ())
+      | No_model | Exhausted _ -> ())
     [ "example1"; "example1_bdd"; "symmetric"; "succ_only" ]
 
 (* ------------------------------------------------------------------ *)
@@ -358,7 +358,7 @@ let prop_model_search_sound =
       let i = Parser.instance "E(c0,c1)" in
       match Finite_model.search ~fresh:1 ~max_steps:50000 i rules with
       | Model m -> Finite_model.is_model m rules && Instance.subset i m
-      | No_model | Budget -> true)
+      | No_model | Exhausted _ -> true)
 
 let props =
   List.map QCheck_alcotest.to_alcotest
