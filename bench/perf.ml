@@ -419,6 +419,56 @@ let intern_dedup_workload ~reps ~rounds ~max_rounds name =
     ~after:(fun () -> dedup Atom.compare)
     ~data_atoms:(List.length pool)
 
+(* Provenance overhead: the same chase timed with fact-level recording
+   off (the default, one ref read per trigger) and on (an entry per
+   derived fact). Here before = recording ON and after = recording OFF,
+   so speedup_x100 is the overhead ratio directly: 100 = free, 110 = 10%
+   slower with recording. The cross-check asserts recording is neutral —
+   identical atom counts and depth either way. *)
+let provenance_workload ~reps (name, full, smoke_b) ~smoke =
+  let b = if smoke then smoke_b else full in
+  let entry = Rulesets.find name in
+  (* the two sides run the same engine on the same input — compact the
+     heap before each so the second side does not pay (or dodge) the
+     first side's GC debt, which at example1 scale outweighs the
+     recording cost being measured *)
+  Gc.compact ();
+  let off, off_us =
+    time_us ~reps (fun () ->
+        Chase.run ~max_depth:b.depth ~max_atoms:b.atoms entry.instance
+          entry.rules)
+  in
+  Gc.compact ();
+  let (on, stats), on_us =
+    time_us ~reps (fun () ->
+        Nca_provenance.Provenance.enable ();
+        Fun.protect ~finally:Nca_provenance.Provenance.disable (fun () ->
+            let c =
+              Chase.run ~max_depth:b.depth ~max_atoms:b.atoms entry.instance
+                entry.rules
+            in
+            (c, Nca_provenance.Provenance.stats ())))
+  in
+  let workload = "provenance/" ^ name in
+  check_eq ~workload "atoms" (Instance.cardinal off.Chase.instance)
+    (Instance.cardinal on.Chase.instance);
+  check_eq ~workload "depth" off.Chase.depth on.Chase.depth;
+  Json.Obj
+    [
+      ("kind", Json.String "provenance");
+      ("name", Json.String name);
+      ("max_depth", Json.Int b.depth);
+      ("max_atoms", Json.Int b.atoms);
+      ("atoms", Json.Int (Instance.cardinal on.Chase.instance));
+      ("facts_tracked", Json.Int stats.Nca_provenance.Provenance.facts);
+      ("store_bytes", Json.Int stats.Nca_provenance.Provenance.store_bytes);
+      ("max_derivation_depth",
+       Json.Int stats.Nca_provenance.Provenance.max_depth);
+      ("before_us", Json.Int on_us);
+      ("after_us", Json.Int off_us);
+      ("speedup_x100", Json.Int (speedup_x100 ~before:on_us ~after:off_us));
+    ]
+
 (* Rewriting rides on the same Hom hot path; no separate naive engine is
    preserved for it, so these entries record the trajectory only. *)
 let rewrite_workload ~reps ~max_rounds name =
@@ -523,6 +573,15 @@ let run_all ~smoke ~only =
     |> List.filter (fun n -> sel ("rewrite/" ^ n))
     |> List.map (rewrite_workload ~reps ~max_rounds:(if smoke then 4 else 8))
   in
+  let provenance_rows =
+    [
+      ("example1", { depth = 32; atoms = 20000 }, { depth = 8; atoms = 500 });
+      ("dense", { depth = 8; atoms = 20000 }, { depth = 5; atoms = 500 });
+      ("inclusion", { depth = 300; atoms = 20000 }, { depth = 30; atoms = 500 });
+    ]
+    |> List.filter (fun (n, _, _) -> sel ("provenance/" ^ n))
+    |> List.map (fun w -> provenance_workload ~reps w ~smoke)
+  in
   let intern_rows =
     (if sel "intern/hom_membership" then
        [
@@ -552,12 +611,14 @@ let run_all ~smoke ~only =
            re-enumeration, string keys); after = positional-index Hom + \
            delta-driven chase + structural keys. intern rows: before = \
            string-based structural comparators, after = interned id \
-           comparators on the same data. speedup_x100 = 100 * \
-           before/after." );
+           comparators on the same data. provenance rows: before = \
+           chase with fact-level recording on, after = recording off, \
+           so speedup_x100 is the recording overhead (100 = free). \
+           speedup_x100 = 100 * before/after." );
       ( "workloads",
         Json.List
-          (chase_rows @ datalog_rows @ hom_rows @ rewrite_rows @ intern_rows)
-      );
+          (chase_rows @ datalog_rows @ hom_rows @ rewrite_rows
+          @ provenance_rows @ intern_rows) );
     ]
 
 let summarize doc =

@@ -29,6 +29,10 @@ module Json = Nca_analysis.Json
 module Budget = Nca_obs.Budget
 module Exhausted = Nca_obs.Exhausted
 module Telemetry = Nca_obs.Telemetry
+module Provenance = Nca_provenance.Provenance
+module Proof = Nca_provenance.Proof
+module Certificate = Nca_core.Certificate
+module Proof_report = Nca_analysis.Proof_report
 
 (* Exit codes: 0 ok, 1 analysis/stage failure, 2 usage error (Cmdliner),
    3 budget exhausted before a verdict. *)
@@ -94,7 +98,12 @@ let edge_arg =
 
 (* observability & budget options, shared by every engine subcommand *)
 
-type obs = { trace : bool; stats_json : bool; timeout : float option }
+type obs = {
+  trace : bool;
+  stats_json : bool;
+  timeout : float option;
+  provenance : bool;
+}
 
 let obs_term =
   let trace_arg =
@@ -111,7 +120,7 @@ let obs_term =
       & info [ "stats-json" ]
           ~doc:
             "Print the telemetry snapshot as one line of JSON (schema \
-             nocliques/stats/v1) to stdout after the run.")
+             nocliques/stats/v2) to stdout after the run.")
   in
   let timeout_arg =
     Arg.(
@@ -123,9 +132,20 @@ let obs_term =
              the next checkpoint, reports what was computed, and exits \
              with status 3.")
   in
+  let provenance_arg =
+    Arg.(
+      value & flag
+      & info [ "provenance" ]
+          ~doc:
+            "Record fact-level provenance during the run. Does not change \
+             the command's output by itself, but populates the provenance \
+             counters of --stats-json and the store behind the proof \
+             artefacts (implied by --explain, --proof-json, --proof-dot).")
+  in
   Cterm.(
-    const (fun trace stats_json timeout -> { trace; stats_json; timeout })
-    $ trace_arg $ stats_json_arg $ timeout_arg)
+    const (fun trace stats_json timeout provenance ->
+        { trace; stats_json; timeout; provenance })
+    $ trace_arg $ stats_json_arg $ timeout_arg $ provenance_arg)
 
 let budget_of obs =
   match obs.timeout with
@@ -138,8 +158,11 @@ let budget_of obs =
 let with_obs obs f =
   let recording = obs.trace || obs.stats_json in
   if recording then Telemetry.enable ();
+  if obs.provenance then Provenance.enable ();
   Fun.protect
     ~finally:(fun () ->
+      (* snapshot while the provenance store is still live: the stats-json
+         provenance object reads the ambient store *)
       if recording then begin
         let snap = Telemetry.snapshot () in
         Telemetry.disable ();
@@ -147,7 +170,8 @@ let with_obs obs f =
         if obs.stats_json then
           Fmt.pr "%s@."
             (Json.to_string (Nca_analysis.Obs_report.of_snapshot snap))
-      end)
+      end;
+      if obs.provenance then Provenance.disable ())
     f
 
 (* A wall-clock or cancellation stop is a failure to reach a verdict and
@@ -171,19 +195,183 @@ let guarded f =
     Fmt.epr "surgery stage %s failed: %s@." stage reason;
     1
 
+(* proof artefacts (--proof-json / --proof-dot), shared by the
+   proof-emitting subcommands *)
+
+let proof_out_term =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proof-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the proof object (schema nocliques/proof/v1) as one \
+             line of JSON to $(docv) ($(b,-) for stdout). Implies \
+             --provenance.")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proof-dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the derivation DAG as Graphviz DOT to $(docv) ($(b,-) \
+             for stdout). Implies --provenance.")
+  in
+  Cterm.(const (fun j d -> (j, d)) $ json_arg $ dot_arg)
+
+let write_out path content =
+  match path with
+  | "-" -> print_string content
+  | path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content)
+
+(* force recording whenever a proof artefact or fact-level explain was
+   requested, so the store is populated by the time we read it back *)
+let with_proofs obs (proof_json, proof_dot) ?(extra = false) f =
+  let need = obs.provenance || proof_json <> None || proof_dot <> None in
+  with_obs { obs with provenance = need || extra } f
+
+(* The deepest derived fact of the ambient store: maximum round,
+   ties broken structurally so the choice is byte-stable. *)
+let deepest_fact () =
+  Provenance.fold
+    (fun a (e : Provenance.entry) best ->
+      match best with
+      | None -> Some (a, e.Provenance.round)
+      | Some (b, r) ->
+          if
+            e.Provenance.round > r
+            || (e.Provenance.round = r && Atom.compare_structural a b < 0)
+          then Some (a, e.Provenance.round)
+          else best)
+    None
+
+(* One DOT document for a whole certificate: the union of its support
+   DAGs (each distinct fact once). *)
+let certificate_dot (c : Certificate.t) =
+  let seen = Hashtbl.create 64 in
+  let label a = Fmt.str "%a" Atom.pp a in
+  let nodes, edges =
+    List.fold_left
+      (fun acc p ->
+        Proof.fold_distinct
+          (fun (nodes, edges) (node : Proof.t) ->
+            let id = label node.Proof.fact in
+            if Hashtbl.mem seen id then (nodes, edges)
+            else begin
+              Hashtbl.add seen id ();
+              let kind =
+                match node.Proof.rule with
+                | None -> `Input
+                | Some _ -> `Derived
+              in
+              let edges =
+                match node.Proof.rule with
+                | None -> edges
+                | Some r ->
+                    List.fold_left
+                      (fun edges (p : Proof.t) ->
+                        let e =
+                          (label p.Proof.fact, id, Some (Rule.name r))
+                        in
+                        if List.mem e edges then edges else e :: edges)
+                      edges node.Proof.premises
+              in
+              ((id, id, kind) :: nodes, edges)
+            end)
+          acc p)
+      ([], []) c.Certificate.support
+  in
+  Nca_graph.Dot.of_dag ~name:"certificate" ~nodes:(List.rev nodes)
+    ~edges:(List.rev edges) ()
+
+(* check, then write the requested artefacts; a rejected certificate is a
+   hard failure — the verdict must not ship with an invalid proof *)
+let emit_certificate (proof_json, proof_dot) c =
+  if proof_json = None && proof_dot = None then 0
+  else
+    match Certificate.check c with
+    | Error e ->
+        Fmt.epr "nocliques: %a@." Certificate.pp_error e;
+        1
+    | Ok () ->
+        Option.iter
+          (fun path ->
+            write_out path
+              (Json.to_string (Proof_report.of_certificate c) ^ "\n"))
+          proof_json;
+        Option.iter (fun path -> write_out path (certificate_dot c)) proof_dot;
+        0
+
+let emit_proof (proof_json, proof_dot) p =
+  Option.iter
+    (fun path ->
+      write_out path (Json.to_string (Proof_report.of_proof p) ^ "\n"))
+    proof_json;
+  Option.iter (fun path -> write_out path (Proof.to_dot p)) proof_dot;
+  0
+
+(* Hand-parsed FACT argument: the parser reserves the [_] prefix for
+   generated names, but chase output prints nulls as [_:n<k>], and
+   [explain]'s argument is exactly such printed output. Null numbering is
+   deterministic per run, so re-running the chase reproduces the names. *)
+let parse_fact src =
+  let src = String.trim src in
+  let term_of s =
+    let s = String.trim s in
+    if s = "" then Error "empty term"
+    else if String.length s > 3 && String.sub s 0 3 = "_:n" then
+      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+      | Some k -> Ok (Term.null k)
+      | None -> Error (Fmt.str "malformed null %S" s)
+    else Ok (Term.cst s)
+  in
+  match String.index_opt src '(' with
+  | None -> if src = "" then Error "empty fact" else Ok (Atom.app src [])
+  | Some i ->
+      if String.length src < i + 2 || src.[String.length src - 1] <> ')' then
+        Error "expected a fact of the form P(t1,...,tn)"
+      else
+        let name = String.trim (String.sub src 0 i) in
+        let inner = String.sub src (i + 1) (String.length src - i - 2) in
+        let parts =
+          if String.trim inner = "" then []
+          else String.split_on_char ',' inner
+        in
+        List.fold_left
+          (fun acc part ->
+            Result.bind acc (fun ts ->
+                Result.map (fun t -> t :: ts) (term_of part)))
+          (Ok []) parts
+        |> Result.map (fun ts -> Atom.app name (List.rev ts))
+
 (* chase *)
 
 let chase_cmd =
-  let run file depth max_atoms print_instance explain obs =
+  let run file depth max_atoms print_instance explain explain_nulls proofs
+      obs =
     let prog = load file in
-    with_obs obs @@ fun () ->
+    with_proofs obs proofs ~extra:explain @@ fun () ->
     let c =
       Chase.run ~max_depth:depth ~max_atoms ~budget:(budget_of obs)
         prog.facts prog.rules
     in
     Fmt.pr "chase: %a@." Chase.pp_stats c;
     if print_instance then Fmt.pr "%a@." Instance.pp c.instance;
+    (* fact-level explain: works on pure-Datalog runs too, where the old
+       per-null trace had nothing to say *)
     if explain then begin
+      match deepest_fact () with
+      | None -> Fmt.pr "no derived facts to explain@."
+      | Some (a, _) ->
+          Fmt.pr "derivation of the deepest derived fact:@.%a@." Proof.pp
+            (Proof.of_fact a)
+    end;
+    if explain_nulls then begin
       let invented = Term.Set.elements (Chase.invented c) in
       let ts t = Option.value ~default:0 (Chase.timestamp c t) in
       let deepest =
@@ -199,7 +387,17 @@ let chase_cmd =
     List.iter
       (fun q -> Fmt.pr "%a  ⊨ %b@." Cq.pp q (Cq.holds c.instance q))
       prog.queries;
-    budget_status "chase" c.stopped
+    let proof_status =
+      if proofs = (None, None) then 0
+      else
+        match deepest_fact () with
+        | None ->
+            Fmt.epr "nocliques: no derived facts — no proof to export@.";
+            1
+        | Some (a, _) -> emit_proof proofs (Proof.of_fact a)
+    in
+    let status = budget_status "chase" c.stopped in
+    if status <> 0 then status else proof_status
   in
   let print_arg =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the chase instance.")
@@ -208,13 +406,77 @@ let chase_cmd =
     Arg.(
       value & flag
       & info [ "explain" ]
-          ~doc:"Print the derivation trace of the deepest invented term.")
+          ~doc:
+            "Print the derivation of the deepest derived fact (rule, \
+             round, parent facts, recursively). Implies --provenance.")
+  in
+  let explain_nulls_arg =
+    Arg.(
+      value & flag
+      & info [ "explain-nulls" ]
+          ~doc:
+            "Print the derivation trace of the deepest invented term (the \
+             per-null trace over triggers; empty on Datalog-only runs).")
   in
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the oblivious chase and answer the queries.")
     Cterm.(
       const run $ file_arg $ depth_arg $ max_atoms_arg $ print_arg
-      $ explain_arg $ obs_term)
+      $ explain_arg $ explain_nulls_arg $ proof_out_term $ obs_term)
+
+(* explain *)
+
+let explain_cmd =
+  let run file fact_src depth max_atoms proofs obs =
+    let prog = load file in
+    match parse_fact fact_src with
+    | Error reason ->
+        Fmt.epr "cannot parse FACT %S: %s@." fact_src reason;
+        exit 2
+    | Ok fact ->
+        with_proofs obs proofs ~extra:true @@ fun () ->
+        let c =
+          Chase.run ~max_depth:depth ~max_atoms ~budget:(budget_of obs)
+            prog.facts prog.rules
+        in
+        if not (Instance.mem fact c.Chase.instance) then begin
+          Fmt.epr "fact %a is not in the chase (depth %d%s)@." Atom.pp fact
+            c.Chase.depth
+            (if c.Chase.saturated then ", saturated" else "");
+          1
+        end
+        else begin
+          let p = Proof.of_fact fact in
+          Fmt.pr "%a@." Proof.pp p;
+          Fmt.pr "depth=%d facts=%d rules={%s}@." (Proof.depth p)
+            (Proof.size p)
+            (String.concat "," (Proof.rules_used p));
+          let proof_status = emit_proof proofs p in
+          let status = budget_status "chase" c.Chase.stopped in
+          if status <> 0 then status else proof_status
+        end
+  in
+  let fact_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FACT"
+          ~doc:
+            "The fact to explain, as printed by the chase — e.g. \
+             $(b,E(a,b)) or $(b,D(_:n3,_:n3)). Nulls are numbered \
+             deterministically, so names from a previous run of the same \
+             command are reproduced.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Chase the program with provenance recording and print the \
+          derivation DAG of one fact: which rule produced it, at which \
+          round, under which homomorphism, from which parent facts — \
+          recursively down to the input.")
+    Cterm.(
+      const run $ file_arg $ fact_arg $ depth_arg $ max_atoms_arg
+      $ proof_out_term $ obs_term)
 
 (* rewrite *)
 
@@ -425,10 +687,10 @@ let surgery_cmd =
 (* analyze *)
 
 let analyze_cmd =
-  let run file depth edge obs =
+  let run file depth edge proofs obs =
     let prog = load file in
     let e = Symbol.make edge 2 in
-    with_obs obs @@ fun () ->
+    with_proofs obs proofs @@ fun () ->
     guarded @@ fun () ->
     let budget = budget_of obs in
     let p = Pipeline.regalize ~budget prog.facts prog.rules in
@@ -457,11 +719,16 @@ let analyze_cmd =
               Term.pp tt)
       edges;
     let g = Nca_graph.Digraph.of_instance e t.full in
+    let tournament = Nca_graph.Tournament.max_tournament g in
     Fmt.pr "max tournament=%d loop=%b bound R(4,…,4)=%d@."
-      (Nca_graph.Tournament.max_tournament_size g)
+      (List.length tournament)
       (Cq.holds t.full (Cq.loop_query e))
       (Theorem1.tournament_size_bound
          ~rewriting_disjuncts:(Ucq.size t.rewriting));
+    let proof_status =
+      if proofs = (None, None) then 0
+      else emit_certificate proofs (Certificate.of_analysis t tournament)
+    in
     let first_stop =
       match p.stopped with
       | Some _ as s -> s
@@ -470,23 +737,25 @@ let analyze_cmd =
           | Some _ as s -> s
           | None -> t.closure_stopped)
     in
-    budget_status "analysis" first_stop
+    let status = budget_status "analysis" first_stop in
+    if status <> 0 then status else proof_status
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Full Section-5 analysis: witnesses, valleys, tournament bound.")
-    Cterm.(const run $ file_arg $ depth_arg $ edge_arg $ obs_term)
+    Cterm.(const run $ file_arg $ depth_arg $ edge_arg $ proof_out_term
+      $ obs_term)
 
 (* tournament *)
 
 let tournament_cmd =
-  let run file depth max_atoms edge obs =
+  let run file depth max_atoms edge proofs obs =
     let prog = load file in
     let e = Symbol.make edge 2 in
-    with_obs obs @@ fun () ->
-    let v =
-      Theorem1.validate ~max_depth:depth ~max_atoms ~budget:(budget_of obs)
-        ~e prog.facts prog.rules
+    with_proofs obs proofs @@ fun () ->
+    let v, chase =
+      Theorem1.validate_full ~max_depth:depth ~max_atoms
+        ~budget:(budget_of obs) ~e prog.facts prog.rules
     in
     Fmt.pr "%a@." Theorem1.pp_verdict v;
     (if v.tournament <> [] then
@@ -495,13 +764,22 @@ let tournament_cmd =
          v.tournament);
     Fmt.pr "Theorem 1 shadow (threshold 4): %b@."
       (Theorem1.implication_holds ~threshold:4 v);
-    budget_status "tournament analysis" v.stopped
+    let proof_status =
+      if proofs = (None, None) then 0
+      else
+        emit_certificate proofs
+          (Certificate.of_verdict ~input:prog.facts ~e ~rules:prog.rules v
+             chase)
+    in
+    let status = budget_status "tournament analysis" v.stopped in
+    if status <> 0 then status else proof_status
   in
   Cmd.v
     (Cmd.info "tournament"
        ~doc:"Measure the largest E-tournament and loop entailment.")
     Cterm.(
-      const run $ file_arg $ depth_arg $ max_atoms_arg $ edge_arg $ obs_term)
+      const run $ file_arg $ depth_arg $ max_atoms_arg $ edge_arg
+      $ proof_out_term $ obs_term)
 
 (* dot *)
 
@@ -716,6 +994,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ chase_cmd; rewrite_cmd; properties_cmd; lint_cmd; surgery_cmd;
-            analyze_cmd; tournament_cmd; classes_cmd; finite_cmd; dot_cmd;
-            zoo_cmd; debug_cmd ]))
+          [ chase_cmd; explain_cmd; rewrite_cmd; properties_cmd; lint_cmd;
+            surgery_cmd; analyze_cmd; tournament_cmd; classes_cmd;
+            finite_cmd; dot_cmd; zoo_cmd; debug_cmd ]))

@@ -1,4 +1,4 @@
-let schema = "nocliques/stats/v1"
+let schema = "nocliques/stats/v2"
 
 let rec span_json (s : Nca_obs.Telemetry.span_stats) =
   Json.Obj
@@ -9,11 +9,21 @@ let rec span_json (s : Nca_obs.Telemetry.span_stats) =
       ("children", Json.List (List.map span_json s.children));
     ]
 
+let provenance_json () =
+  let p = Nca_provenance.Provenance.stats () in
+  Json.Obj
+    [
+      ("facts", Json.Int p.Nca_provenance.Provenance.facts);
+      ("store_bytes", Json.Int p.Nca_provenance.Provenance.store_bytes);
+      ("max_depth", Json.Int p.Nca_provenance.Provenance.max_depth);
+    ]
+
 let of_snapshot (snap : Nca_obs.Telemetry.snapshot) =
   Json.Obj
     [
       ("schema", Json.String schema);
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters) );
+      ("provenance", provenance_json ());
       ("spans", Json.List (List.map span_json snap.spans));
     ]

@@ -2,19 +2,26 @@
 
     Bridges [Nca_obs.Telemetry] to the toolkit's JSON document type —
     the payload behind [nocliques --stats-json]. The shape is versioned
-    ([nocliques/stats/v1]) and covered by a golden test, so consumers
+    ([nocliques/stats/v2]) and covered by a golden test, so consumers
     can rely on it:
 
     {v
-    { "schema": "nocliques/stats/v1",
+    { "schema": "nocliques/stats/v2",
       "counters": { "chase.rounds": 3, ... },
+      "provenance": { "facts": 0, "store_bytes": 0, "max_depth": 0 },
       "spans": [ { "name": "chase", "calls": 1, "time_us": 42,
                    "children": [...] }, ... ] }
-    v} *)
+    v}
+
+    [v2] adds the [provenance] object — the ambient
+    {!Nca_provenance.Provenance} store's counters (all zero when
+    recording is off). [store_bytes] is the store's deterministic
+    structural size estimate, not a heap measurement. *)
 
 val schema : string
-(** ["nocliques/stats/v1"]. *)
+(** ["nocliques/stats/v2"]. *)
 
 val of_snapshot : Nca_obs.Telemetry.snapshot -> Json.t
-(** Counters as one object (sorted by name, as in the snapshot), spans as
-    a recursive array in first-seen order. *)
+(** Counters as one object (sorted by name, as in the snapshot), the
+    provenance counters read off the ambient store, spans as a recursive
+    array in first-seen order. *)

@@ -1,0 +1,106 @@
+open Nca_logic
+module Proof = Nca_provenance.Proof
+module Certificate = Nca_core.Certificate
+
+let schema = "nocliques/proof/v1"
+let atom_str a = Fmt.str "%a" Atom.pp a
+let term_str t = Fmt.str "%a" Term.pp t
+let query_str q = Fmt.str "%a" Cq.pp q
+
+let hom_json h =
+  Json.List
+    (List.map
+       (fun (x, t) ->
+         Json.List [ Json.String (term_str x); Json.String (term_str t) ])
+       (Subst.bindings h))
+
+let step_json (node : Proof.t) =
+  Json.Obj
+    [
+      ("fact", Json.String (atom_str node.Proof.fact));
+      ( "rule",
+        match node.Proof.rule with
+        | None -> Json.Null
+        | Some r -> Json.String (Rule.name r) );
+      ("round", Json.Int node.Proof.round);
+      ("hom", hom_json node.Proof.hom);
+      ( "premises",
+        Json.List
+          (List.map
+             (fun (p : Proof.t) -> Json.String (atom_str p.Proof.fact))
+             node.Proof.premises) );
+    ]
+
+(* premises-first, each distinct fact once: the list is its own
+   topological order, so a consumer can replay it front to back *)
+let proof_steps root =
+  List.rev (Proof.fold_distinct (fun acc node -> step_json node :: acc) [] root)
+
+let proof_body (root : Proof.t) =
+  [
+    ("root", Json.String (atom_str root.Proof.fact));
+    ("steps", Json.List (proof_steps root));
+  ]
+
+let of_proof root =
+  Json.Obj
+    (("schema", Json.String schema) :: ("kind", Json.String "proof")
+    :: proof_body root)
+
+let witness_json = function
+  | None -> Json.Null
+  | Some (q, h) ->
+      Json.Obj [ ("query", Json.String (query_str q)); ("hom", hom_json h) ]
+
+let removal_step_json (st : Certificate.step) =
+  Json.Obj
+    [
+      ("query", Json.String (query_str st.Certificate.query));
+      ("hom", hom_json st.Certificate.hom);
+      ( "timestamps",
+        Json.List
+          (List.map
+             (fun n -> Json.Int n)
+             (Certificate.MS.to_list st.Certificate.timestamps)) );
+      ( "peak",
+        match st.Certificate.peak with
+        | None -> Json.Null
+        | Some z -> Json.String (term_str z) );
+    ]
+
+let edge_json (ed : Certificate.edge) =
+  Json.Obj
+    [
+      ("source", Json.String (term_str ed.Certificate.source));
+      ("target", Json.String (term_str ed.Certificate.target));
+      ("fact", Json.String (atom_str ed.Certificate.fact));
+      ("witness", witness_json ed.Certificate.witness);
+      ( "removal",
+        Json.List (List.map removal_step_json ed.Certificate.removal) );
+      ("valley", witness_json ed.Certificate.valley);
+    ]
+
+let of_certificate (c : Certificate.t) =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("kind", Json.String "certificate");
+      ("e", Json.String (Symbol.name c.Certificate.e));
+      ( "rules",
+        Json.List
+          (List.map
+             (fun r -> Json.String (Rule.name r))
+             c.Certificate.rules) );
+      ( "tournament",
+        Json.List
+          (List.map
+             (fun t -> Json.String (term_str t))
+             c.Certificate.tournament) );
+      ("edges", Json.List (List.map edge_json c.Certificate.edges));
+      ("loop", witness_json c.Certificate.loop);
+      ( "support",
+        Json.List
+          (List.map
+             (fun p -> Json.Obj (proof_body p))
+             c.Certificate.support) );
+    ]

@@ -1,0 +1,30 @@
+(** Machine-readable rendering of derivation proofs and certificates.
+
+    Bridges {!Nca_provenance.Proof} and {!Nca_core.Certificate} to the
+    toolkit's JSON document type — the payload behind
+    [nocliques --proof-json]. The shape is versioned
+    ([nocliques/proof/v1]) and covered by golden tests:
+
+    {v
+    { "schema": "nocliques/proof/v1",
+      "kind": "proof",
+      "root": "E(a, b)",
+      "steps": [ { "fact": "E(a, b)", "rule": "r1", "round": 2,
+                   "hom": [["x", "a"], ["y", "b"]],
+                   "premises": ["R(a)", ...] }, ... ] }
+    v}
+
+    Steps are listed premises-first (topologically); [rule] is [null] and
+    [round] is [0] for input facts; [premises] reference other steps by
+    their printed fact. A certificate document ([kind = "certificate"])
+    adds the tournament, per-edge evidence and the support proofs. *)
+
+val schema : string
+(** ["nocliques/proof/v1"]. *)
+
+val of_proof : Nca_provenance.Proof.t -> Json.t
+(** The whole derivation DAG as one enveloped document. *)
+
+val of_certificate : Nca_core.Certificate.t -> Json.t
+(** The certificate chain — tournament, edges (witness, removal trace,
+    valley), loop, support proofs — as one enveloped document. *)

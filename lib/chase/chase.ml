@@ -104,11 +104,29 @@ let run ?(variant = Oblivious) ?max_depth ?max_atoms
                       (Rule.exist_vars tr.Trigger.rule)
                       prov
                   in
+                  (* fact-level provenance: the stored hom is the full
+                     extension, so one substitution instantiates both the
+                     body (→ parents) and the head (→ the fact) *)
+                  let record =
+                    if Nca_provenance.Provenance.enabled () then begin
+                      let rule = tr.Trigger.rule in
+                      let parents =
+                        Subst.apply_atoms tr.Trigger.hom (Rule.body rule)
+                      in
+                      fun a ->
+                        Nca_provenance.Provenance.record a ~rule ~hom:ext
+                          ~round:(level + 1) ~parents
+                    end
+                    else fun _ -> ()
+                  in
                   let inst, d =
                     Instance.fold
                       (fun a (inst, d) ->
                         if Instance.mem a inst then (inst, d)
-                        else (Instance.add a inst, Instance.add a d))
+                        else begin
+                          record a;
+                          (Instance.add a inst, Instance.add a d)
+                        end)
                       out (inst, d)
                   in
                   ( (inst, d),

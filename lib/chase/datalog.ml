@@ -53,9 +53,11 @@ end)
    each join result is produced exactly once. Derivations accumulate in a
    mutable store; a persistent [Instance] is rebuilt only at the round
    boundary. *)
-let round rules ~total ~delta =
+let round ?(round_no = 0) rules ~total ~delta =
   let old = Instance.diff total delta in
   let fresh : unit Atom_tbl.t = Atom_tbl.create 64 in
+  (* one flag read per round, not per derivation *)
+  let tracking = Nca_provenance.Provenance.enabled () in
   List.iter
     (fun rule ->
       let body = Rule.body rule in
@@ -78,7 +80,13 @@ let round rules ~total ~delta =
                   if
                     (not (Instance.mem derived total))
                     && not (Atom_tbl.mem fresh derived)
-                  then Atom_tbl.add fresh derived ())
+                  then begin
+                    if tracking then
+                      Nca_provenance.Provenance.record derived ~rule ~hom:h
+                        ~round:round_no
+                        ~parents:(Subst.apply_atoms h body);
+                    Atom_tbl.add fresh derived ()
+                  end)
                 head))
         body)
     rules;
@@ -103,7 +111,7 @@ let saturate_steps ~budget start rules =
       | None ->
           let fresh =
             Nca_obs.Telemetry.span "datalog.round" (fun () ->
-                round rules ~total ~delta)
+                round ~round_no:(n + 1) rules ~total ~delta)
           in
           Nca_obs.Telemetry.count "datalog.atoms" (Instance.cardinal fresh);
           go (Instance.union total fresh) fresh (n + 1)

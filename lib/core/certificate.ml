@@ -1,0 +1,316 @@
+open Nca_logic
+module MS = Nca_graph.Multiset.Int_multiset
+module Proof = Nca_provenance.Proof
+
+type step = {
+  query : Cq.t;
+  hom : Subst.t;
+  timestamps : MS.t;
+  peak : Term.t option;
+}
+
+type edge = {
+  source : Term.t;
+  target : Term.t;
+  fact : Atom.t;
+  witness : (Cq.t * Subst.t) option;
+  removal : step list;
+  valley : (Cq.t * Subst.t) option;
+}
+
+type t = {
+  rules : Rule.t list;
+  e : Symbol.t;
+  input : Instance.t;
+  support : Proof.t list;
+  tournament : Term.t list;
+  edges : edge list;
+  loop : (Cq.t * Subst.t) option;
+}
+
+module Atom_tbl = Hashtbl.Make (struct
+  type t = Atom.t
+
+  let equal = Atom.equal
+  let hash = Atom.hash
+end)
+
+(* One proof per distinct derived fact; input facts need no proof. *)
+let support_of ~input facts =
+  let seen = Atom_tbl.create 64 in
+  List.filter_map
+    (fun a ->
+      if Instance.mem a input || Atom_tbl.mem seen a then None
+      else begin
+        Atom_tbl.add seen a ();
+        Some (Proof.of_fact a)
+      end)
+    facts
+
+(* All unordered pairs of the tournament, oriented as in the instance. *)
+let oriented_pairs e inst vertices =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc w ->
+              if Instance.mem (Atom.make e [ v; w ]) inst then (v, w) :: acc
+              else if Instance.mem (Atom.make e [ w; v ]) inst then
+                (w, v) :: acc
+              else acc)
+            acc rest
+        in
+        go acc rest
+  in
+  go [] vertices
+
+let loop_witness e inst =
+  let q = Cq.loop_query e in
+  Option.map (fun h -> (q, h)) (Hom.find (Cq.body q) inst)
+
+let image q h = Subst.apply_atoms h (Cq.body q)
+
+let of_verdict ~input ~e ~rules (v : Theorem1.verdict) chase =
+  let inst = chase.Nca_chase.Chase.instance in
+  let edges =
+    List.map
+      (fun (s, t) ->
+        {
+          source = s;
+          target = t;
+          fact = Atom.make e [ s; t ];
+          witness = None;
+          removal = [];
+          valley = None;
+        })
+      (oriented_pairs e inst v.Theorem1.tournament)
+  in
+  let loop = if v.Theorem1.loop then loop_witness e inst else None in
+  let referenced =
+    List.map (fun ed -> ed.fact) edges
+    @ (match loop with None -> [] | Some (q, h) -> image q h)
+  in
+  {
+    rules;
+    e;
+    input;
+    support = support_of ~input referenced;
+    tournament = v.Theorem1.tournament;
+    edges;
+    loop;
+  }
+
+let of_analysis (w : Witness.t) tournament =
+  let e = w.Witness.e in
+  let chase = w.Witness.chase_ex in
+  let ts q h =
+    Nca_chase.Chase.timestamp_multiset chase
+      (Instance.adom (Instance.of_list (image q h)))
+  in
+  let edge_of (s, t) =
+    let fact = Atom.make e [ s; t ] in
+    let ws = Witness.witnesses w s t in
+    match List.find_opt (fun (q, _) -> Valley.is_valley q) ws with
+    | Some (q, h) ->
+        (* already a valley: a one-step trace *)
+        {
+          source = s;
+          target = t;
+          fact;
+          witness = Some (q, h);
+          removal = [ { query = q; hom = h; timestamps = ts q h; peak = None } ];
+          valley = Some (q, h);
+        }
+    | None -> (
+        (* start from the TS-minimal witness, as in the proof of Lemma 40 *)
+        let sorted =
+          List.sort
+            (fun (a, _) (b, _) -> MS.compare_lex a b)
+            (List.map (fun (q, h) -> (ts q h, (q, h))) ws)
+        in
+        match sorted with
+        | [] ->
+            {
+              source = s;
+              target = t;
+              fact;
+              witness = None;
+              removal = [];
+              valley = None;
+            }
+        | (_, w0) :: _ ->
+            let outcome = Witness.remove_peaks w s t w0 in
+            let removal =
+              List.map
+                (fun st ->
+                  {
+                    query = st.Witness.query;
+                    hom = st.Witness.hom;
+                    timestamps = st.Witness.timestamp_multiset;
+                    peak = st.Witness.peak;
+                  })
+                outcome.Witness.steps
+            in
+            {
+              source = s;
+              target = t;
+              fact;
+              witness = Some w0;
+              removal;
+              valley = outcome.Witness.valley;
+            })
+  in
+  let edges = List.map edge_of (oriented_pairs e w.Witness.full tournament) in
+  let loop = loop_witness e w.Witness.full in
+  let referenced =
+    List.concat_map
+      (fun ed ->
+        (ed.fact :: (match ed.witness with None -> [] | Some (q, h) -> image q h))
+        @ List.concat_map (fun st -> image st.query st.hom) ed.removal
+        @ (match ed.valley with None -> [] | Some (q, h) -> image q h))
+      edges
+    @ (match loop with None -> [] | Some (q, h) -> image q h)
+  in
+  {
+    rules = w.Witness.rules;
+    e;
+    input = Instance.top;
+    support = support_of ~input:Instance.top referenced;
+    tournament;
+    edges;
+    loop;
+  }
+
+type error = { where : string; reason : string }
+
+let pp_error ppf e =
+  Fmt.pf ppf "certificate rejected at %s: %s" e.where e.reason
+
+let fail where reason = Error { where; reason }
+let ( let* ) = Result.bind
+
+let check (c : t) =
+  (* 1. support proofs replay against the rule set and the input *)
+  let* () =
+    List.fold_left
+      (fun acc p ->
+        let* () = acc in
+        match Proof.check ~rules:c.rules ~input:c.input p with
+        | Ok () -> Ok ()
+        | Error e -> fail "support" (Fmt.str "%a" Proof.pp_error e))
+      (Ok ()) c.support
+  in
+  let certified =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left (fun acc a -> Instance.add a acc) acc (Proof.facts p))
+      c.input c.support
+  in
+  let cert a = Instance.mem a certified in
+  let check_hom ~where ~answer_to q h =
+    if not (List.for_all cert (image q h)) then
+      fail where "homomorphism image contains an uncertified fact"
+    else if not (Subst.is_injective_on (Cq.vars q) h) then
+      fail where "homomorphism is not injective on the query variables"
+    else
+      match answer_to with
+      | None -> Ok ()
+      | Some tuple ->
+          if
+            List.equal Term.equal
+              (List.map (Subst.apply h) (Cq.answer q))
+              tuple
+          then Ok ()
+          else fail where "answer tuple does not map to the edge endpoints"
+  in
+  (* 2. the tournament is complete over the certified facts *)
+  let* () =
+    if
+      List.length (List.sort_uniq Term.compare c.tournament)
+      <> List.length c.tournament
+    then fail "tournament" "repeated vertex"
+    else Ok ()
+  in
+  let* () =
+    let rec pairs = function
+      | [] -> Ok ()
+      | v :: rest ->
+          let rec each = function
+            | [] -> pairs rest
+            | w :: more ->
+                if
+                  cert (Atom.make c.e [ v; w ])
+                  || cert (Atom.make c.e [ w; v ])
+                then each more
+                else
+                  fail "tournament"
+                    (Fmt.str "no certified E-edge between %a and %a" Term.pp
+                       v Term.pp w)
+          in
+          each rest
+    in
+    pairs c.tournament
+  in
+  (* 3.–4. per-edge evidence *)
+  let check_edge (ed : edge) =
+    let where = Fmt.str "edge %a" Atom.pp ed.fact in
+    if not (Atom.equal ed.fact (Atom.make c.e [ ed.source; ed.target ])) then
+      fail where "edge fact does not match its endpoints"
+    else if not (cert ed.fact) then fail where "edge fact is not certified"
+    else
+      let tuple = [ ed.source; ed.target ] in
+      let* () =
+        match ed.witness with
+        | None -> Ok ()
+        | Some (q, h) ->
+            check_hom ~where:(where ^ " witness") ~answer_to:(Some tuple) q h
+      in
+      let* () =
+        let rec steps prev = function
+          | [] -> Ok ()
+          | st :: rest ->
+              let* () =
+                check_hom
+                  ~where:(where ^ " removal step")
+                  ~answer_to:(Some tuple) st.query st.hom
+              in
+              let* () =
+                match prev with
+                | Some ts when not (MS.compare_lex st.timestamps ts < 0) ->
+                    fail
+                      (where ^ " removal step")
+                      "timestamp multiset does not strictly decrease"
+                | _ -> Ok ()
+              in
+              steps (Some st.timestamps) rest
+        in
+        steps None ed.removal
+      in
+      match ed.valley with
+      | None -> Ok ()
+      | Some (q, h) ->
+          if not (Valley.is_valley q) then
+            fail (where ^ " valley") "terminal query is not a valley"
+          else
+            check_hom ~where:(where ^ " valley") ~answer_to:(Some tuple) q h
+  in
+  let* () =
+    List.fold_left
+      (fun acc ed ->
+        let* () = acc in
+        check_edge ed)
+      (Ok ()) c.edges
+  in
+  (* 5. the loop witness *)
+  match c.loop with
+  | None -> Ok ()
+  | Some (q, h) ->
+      if not (Cq.equivalent q (Cq.loop_query c.e)) then
+        fail "loop" "query is not Loop_E"
+      else check_hom ~where:"loop" ~answer_to:None q h
+
+let pp_summary ppf c =
+  Fmt.pf ppf "tournament=%d edges=%d support=%d loop=%b"
+    (List.length c.tournament) (List.length c.edges) (List.length c.support)
+    (Option.is_some c.loop)

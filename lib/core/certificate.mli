@@ -1,0 +1,97 @@
+(** Machine-checkable proof certificates for Theorem-1 verdicts.
+
+    A certificate packages everything an independent referee needs to
+    re-establish a verdict without re-running any engine: the input, the
+    rule set, the tournament, per-edge evidence — an injective-UCQ
+    witness (Observation 37), the peak-removal trace (Lemma 40) and its
+    terminal valley query (Proposition 43) — a loop witness, and a
+    {e support} list of fact-level derivation proofs
+    ({!Nca_provenance.Proof}) certifying every derived fact the evidence
+    touches. {!check} replays the whole chain bottom-up; the builders
+    ({!of_verdict}, {!of_analysis}) read the evidence off a recorded run,
+    but the checker trusts none of it. *)
+
+open Nca_logic
+module MS = Nca_graph.Multiset.Int_multiset
+
+type step = {
+  query : Cq.t;
+  hom : Subst.t;  (** injective homomorphism of the query into the chase *)
+  timestamps : MS.t;  (** [TSₘ] of the image, Definition 34 *)
+  peak : Term.t option;
+      (** the maximal existential variable removed next; [None] on the
+          terminal (valley) step *)
+}
+
+type edge = {
+  source : Term.t;
+  target : Term.t;
+  fact : Atom.t;  (** [E(source, target)] *)
+  witness : (Cq.t * Subst.t) option;
+      (** initial injective-UCQ witness of the edge (Observation 37) *)
+  removal : step list;
+      (** the Lemma-40 trace: first = initial witness, last = valley;
+          empty when only the edge fact itself is certified *)
+  valley : (Cq.t * Subst.t) option;  (** the terminal valley witness *)
+}
+
+type t = {
+  rules : Rule.t list;
+  e : Symbol.t;
+  input : Instance.t;
+  support : Nca_provenance.Proof.t list;
+      (** derivation proofs for every derived fact the evidence below
+          references; facts outside [input] are certified exactly by
+          these *)
+  tournament : Term.t list;
+  edges : edge list;  (** one per unordered tournament pair, oriented *)
+  loop : (Cq.t * Subst.t) option;  (** [Loop_E] and a witnessing hom *)
+}
+
+val of_verdict :
+  input:Instance.t ->
+  e:Symbol.t ->
+  rules:Rule.t list ->
+  Theorem1.verdict ->
+  Nca_chase.Chase.t ->
+  t
+(** Certificate of a {!Theorem1.validate} verdict: the tournament's edge
+    facts and the loop witness, each backed by a derivation proof read
+    off the ambient {!Nca_provenance} store (which must have been enabled
+    during the run). No per-edge UCQ evidence — the validator does not
+    compute rewritings. *)
+
+val of_analysis : Witness.t -> Term.t list -> t
+(** Certificate of a Section-5 analysis over the given tournament: every
+    edge carries its injective witness, peak-removal trace and valley
+    query ({!Witness.remove_peaks}); support proofs certify every fact
+    the homomorphism images touch, in both [Ch(R^∃)] and the full
+    closure. *)
+
+type error = { where : string; reason : string }
+(** The first link of the chain that failed to replay. *)
+
+val check : t -> (unit, error) result
+(** Replay the certificate bottom-up:
+
+    {ol
+     {- every support proof passes {!Nca_provenance.Proof.check} against
+        [rules] and [input]; the {e certified} facts are [input] plus the
+        facts of these proofs;}
+     {- the tournament is complete: every pair of distinct vertices has
+        an [E]-edge in some direction among the certified facts, and
+        every listed edge fact is certified;}
+     {- every witness, removal step and valley hom maps its query body
+        into certified facts, injectively on the query's variables, with
+        the answer tuple mapped to [(source, target)];}
+     {- along each removal trace the [TSₘ] multisets strictly decrease in
+        [<_lex] (Lemma 40), and the terminal valley query satisfies
+        {!Valley.is_valley};}
+     {- the loop hom, when present, maps [Loop_E] into certified facts.}}
+
+    Purely structural — no engine runs, no store reads. *)
+
+val pp_error : error Fmt.t
+
+val pp_summary : t Fmt.t
+(** One line: tournament size, certified edges, support size, loop. *)

@@ -11,22 +11,26 @@ type verdict = {
   loop_level : int option;
 }
 
-let validate ?(max_depth = 6) ?(max_atoms = 20000) ?budget ~e i rules =
+let validate_full ?(max_depth = 6) ?(max_atoms = 20000) ?budget ~e i rules =
   Nca_obs.Telemetry.span "theorem1.validate" @@ fun () ->
   let chase = Nca_chase.Chase.run ~max_depth ~max_atoms ?budget i rules in
   let graph = Nca_chase.Chase.e_graph e chase in
   let tournament = Nca_graph.Tournament.max_tournament graph in
   let loop_level = Nca_chase.Chase.holds_at chase (Cq.loop_query e) in
-  {
-    depth = chase.Nca_chase.Chase.depth;
-    saturated = chase.Nca_chase.Chase.saturated;
-    stopped = chase.Nca_chase.Chase.stopped;
-    atoms = Instance.cardinal chase.Nca_chase.Chase.instance;
-    max_tournament = List.length tournament;
-    tournament;
-    loop = Option.is_some loop_level;
-    loop_level;
-  }
+  ( {
+      depth = chase.Nca_chase.Chase.depth;
+      saturated = chase.Nca_chase.Chase.saturated;
+      stopped = chase.Nca_chase.Chase.stopped;
+      atoms = Instance.cardinal chase.Nca_chase.Chase.instance;
+      max_tournament = List.length tournament;
+      tournament;
+      loop = Option.is_some loop_level;
+      loop_level;
+    },
+    chase )
+
+let validate ?max_depth ?max_atoms ?budget ~e i rules =
+  fst (validate_full ?max_depth ?max_atoms ?budget ~e i rules)
 
 let implication_holds ~threshold v =
   v.max_tournament < threshold || v.loop

@@ -27,6 +27,13 @@ val validate :
   ?max_depth:int -> ?max_atoms:int -> ?budget:Nca_obs.Budget.t ->
   e:Symbol.t -> Instance.t -> Rule.t list -> verdict
 
+val validate_full :
+  ?max_depth:int -> ?max_atoms:int -> ?budget:Nca_obs.Budget.t ->
+  e:Symbol.t -> Instance.t -> Rule.t list -> verdict * Nca_chase.Chase.t
+(** {!validate}, also returning the underlying chase — the certificate
+    builders ({!Certificate.of_verdict}) need it to read off edge facts
+    and the loop witness. *)
+
 val implication_holds : threshold:int -> verdict -> bool
 (** [max_tournament ≥ threshold → loop]: the finite shadow of
     Theorem 1's implication. Vacuously true below the threshold. *)

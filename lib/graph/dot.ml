@@ -36,6 +36,34 @@ let of_graph ?(name = "G") ?(highlight = Term.Set.empty) g =
 let of_instance ?name ?highlight ~e i =
   of_graph ?name ?highlight (Digraph.of_instance e i)
 
+let of_dag ?(name = "proof") ~nodes ~edges () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=BT;\n";
+  List.iter
+    (fun (id, label, kind) ->
+      let attrs =
+        match kind with
+        | `Input -> ", shape=box, style=filled, fillcolor=lightgrey"
+        | `Derived -> ", shape=box"
+      in
+      Buffer.add_string buf
+        (Fmt.str "  \"%s\" [label=\"%s\"%s];\n" (escape id) (escape label)
+           attrs))
+    nodes;
+  List.iter
+    (fun (src, dst, label) ->
+      let attrs =
+        match label with
+        | None -> ""
+        | Some l -> Fmt.str " [label=\"%s\"]" (escape l)
+      in
+      Buffer.add_string buf
+        (Fmt.str "  \"%s\" -> \"%s\"%s;\n" (escape src) (escape dst) attrs))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
 let of_cq ?(name = "query") q =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Fmt.str "digraph \"%s\" {\n" (escape name));

@@ -16,6 +16,18 @@ val of_instance :
   string
 (** The E-graph of an instance, loops included. *)
 
+val of_dag :
+  ?name:string ->
+  nodes:(string * string * [ `Input | `Derived ]) list ->
+  edges:(string * string * string option) list ->
+  unit ->
+  string
+(** A generic labelled DAG — the renderer behind derivation/proof
+    export. Each node is [(id, label, kind)]: input nodes are drawn
+    filled, derived nodes plain boxes; each edge is
+    [(src_id, dst_id, label)], e.g. premise → conclusion labelled by the
+    rule name. [rankdir=BT], so premises sit below their conclusions. *)
+
 val of_cq : ?name:string -> Nca_logic.Cq.t -> string
 (** A query body as a graph; answer variables are drawn as boxes (the two
     "ends" of a valley query). *)

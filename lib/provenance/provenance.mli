@@ -1,0 +1,68 @@
+(** Fact-level provenance: which trigger derived each fact.
+
+    The chase records, per invented {e null}, the trigger that created it
+    ({!Nca_chase.Chase.provenance}); this store generalizes that record to
+    every derived {e fact}, across both engines: [Chase.run] and
+    [Datalog.saturate] register each newly derived atom together with the
+    rule, the (extended) body homomorphism, the round at which it fired
+    and the instantiated body — the parent facts. {!Proof} reads the store
+    back into checkable derivation DAGs.
+
+    Recording follows the [Telemetry] discipline: it is ambient, off by
+    default, and gated on one global slot — when disabled, every entry
+    point is a single [ref] read, so engine hot paths and output are
+    unchanged (asserted by the byte-identity goldens and the bench
+    overhead workload). Budgets, which change results, travel explicitly;
+    provenance, which must not, stays ambient.
+
+    The store is {e first-writer-wins}: a fact derived twice keeps its
+    first derivation, matching the level semantics of the chase (the
+    earliest derivation is the one the timestamps describe). [enable]
+    installs a fresh store, so one enable/disable window captures exactly
+    one engine run (or one pipeline of runs over a common instance). *)
+
+open Nca_logic
+
+type entry = {
+  rule : Rule.t;  (** the rule whose trigger derived the fact *)
+  hom : Subst.t;
+      (** the body homomorphism, extended to the existential variables for
+          non-Datalog rules — applying it to [Rule.body rule] yields
+          [parents], to [Rule.head rule] a list containing the fact *)
+  round : int;  (** chase level / semi-naive round (inputs are round 0) *)
+  parents : Atom.t list;  (** the instantiated body, in body order *)
+}
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Install a fresh, empty store and start recording. *)
+
+val disable : unit -> unit
+(** Stop recording and drop the store. *)
+
+val record :
+  Atom.t -> rule:Rule.t -> hom:Subst.t -> round:int -> parents:Atom.t list ->
+  unit
+(** Register a derivation for a fact. No-op when disabled or when the
+    fact already has an entry (first writer wins). *)
+
+val find : Atom.t -> entry option
+(** The recorded derivation of a fact; [None] for input facts, facts
+    derived while recording was off, or when disabled. *)
+
+val facts_tracked : unit -> int
+
+val fold : (Atom.t -> entry -> 'a -> 'a) -> 'a -> 'a
+(** Fold over every tracked fact and its entry, in unspecified order
+    (callers wanting determinism must sort); the identity when
+    disabled. *)
+
+type stats = { facts : int; store_bytes : int; max_depth : int }
+(** [store_bytes] is a deterministic structural estimate (entries, parent
+    lists, substitution bindings — not [Obj] reachability), so it is
+    stable across runs and safe for golden tests. [max_depth] is the
+    longest chain of recorded derivations ending in any tracked fact. *)
+
+val stats : unit -> stats
+(** All zeros when disabled. *)

@@ -266,8 +266,9 @@ let test_stats_json_golden () =
       (Telemetry.scrub_times (Telemetry.snapshot ()))
   in
   check_str "stats json shape"
-    "{\"schema\":\"nocliques/stats/v1\",\
+    "{\"schema\":\"nocliques/stats/v2\",\
      \"counters\":{\"datalog.atoms\":0,\"datalog.rounds\":1},\
+     \"provenance\":{\"facts\":0,\"store_bytes\":0,\"max_depth\":0},\
      \"spans\":[{\"name\":\"datalog.saturate\",\"calls\":1,\"time_us\":0,\
      \"children\":[{\"name\":\"datalog.round\",\"calls\":1,\"time_us\":0,\
      \"children\":[]}]}]}"
