@@ -487,6 +487,29 @@ let rewrite_workload ~reps ~max_rounds name =
       ("after_us", Json.Int after_us);
     ]
 
+(* The termination classifier (static hierarchy + budgeted critical-
+   instance chase) has no naive counterpart either; the rows pin the
+   cost and the verdict so regressions in either show up in the
+   trajectory. *)
+let classify_workload ~reps name =
+  let entry = Rulesets.find name in
+  let module T = Nca_analysis.Termination in
+  let t, after_us = time_us ~reps (fun () -> T.classify entry.rules) in
+  let status =
+    match t.T.verdict with
+    | T.Terminating (c, _) -> "terminating/" ^ T.criterion_name c
+    | T.Non_terminating _ -> "non-terminating"
+    | T.Unknown _ -> "unknown"
+  in
+  Json.Obj
+    [
+      ("kind", Json.String "classify");
+      ("name", Json.String name);
+      ("verdict", Json.String status);
+      ("after_us", Json.Int after_us);
+      ("counters", counters_of (fun () -> T.classify entry.rules));
+    ]
+
 (* ------------------------------------------------------------------ *)
 
 let chain n =
@@ -573,6 +596,12 @@ let run_all ~smoke ~only =
     |> List.filter (fun n -> sel ("rewrite/" ^ n))
     |> List.map (rewrite_workload ~reps ~max_rounds:(if smoke then 4 else 8))
   in
+  let classify_rows =
+    [ "example1"; "example1_bdd"; "succ_only"; "guarded"; "sticky";
+      "datalog_star" ]
+    |> List.filter (fun n -> sel ("classify/" ^ n))
+    |> List.map (fun n -> classify_workload ~reps n)
+  in
   let provenance_rows =
     [
       ("example1", { depth = 32; atoms = 20000 }, { depth = 8; atoms = 500 });
@@ -618,7 +647,7 @@ let run_all ~smoke ~only =
       ( "workloads",
         Json.List
           (chase_rows @ datalog_rows @ hom_rows @ rewrite_rows
-          @ provenance_rows @ intern_rows) );
+          @ classify_rows @ provenance_rows @ intern_rows) );
     ]
 
 let summarize doc =

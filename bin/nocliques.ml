@@ -5,6 +5,7 @@
      rewrite     UCQ-rewrite a query against the file's rules
      properties  syntactic + bdd report for a rule set
      lint        static analysis with typed NCA0xx diagnostics
+     classify    chase-termination verdict (acyclicity hierarchy)
      surgery     run the Section-4 regalization pipeline
      analyze     full Section-5 valley/witness analysis
      tournament  Theorem-1 verdict (tournament vs loop)
@@ -33,6 +34,7 @@ module Provenance = Nca_provenance.Provenance
 module Proof = Nca_provenance.Proof
 module Certificate = Nca_core.Certificate
 module Proof_report = Nca_analysis.Proof_report
+module Termination = Nca_analysis.Termination
 
 (* Exit codes: 0 ok, 1 analysis/stage failure, 2 usage error (Cmdliner),
    3 budget exhausted before a verdict. *)
@@ -836,6 +838,67 @@ let classes_cmd =
           acyclic).")
     Cterm.(const run $ file_arg)
 
+(* classify *)
+
+let classify_cmd =
+  let run file json depth max_atoms obs =
+    let prog = load file in
+    with_obs obs @@ fun () ->
+    let budget =
+      Budget.intersect
+        (Budget.v ~max_depth:depth ~max_atoms ())
+        (budget_of obs)
+    in
+    let t = Termination.classify ~budget prog.rules in
+    (* referee discipline: re-verify the certificate or witness
+       independently before emitting anything — a rejected certificate
+       is an analysis failure, not a verdict *)
+    (match Termination.check prog.rules t.Termination.verdict with
+    | Ok () -> ()
+    | Error reason ->
+        Fmt.epr "nocliques: certificate rejected: %s@." reason;
+        exit 1);
+    if json then Fmt.pr "%s@." (Json.to_string (Termination.to_json t))
+    else Fmt.pr "%a@." Termination.pp t;
+    match t.Termination.verdict with
+    | Termination.Terminating _ -> 0
+    | Termination.Non_terminating _ -> 1
+    | Termination.Unknown e ->
+        Fmt.epr "nocliques: classification inconclusive: %a@." Exhausted.pp
+          e;
+        exit_budget
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the report as one line of JSON (schema \
+             nocliques/classify/v1) instead of text.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "d"; "depth" ] ~docv:"N"
+          ~doc:"Depth budget for the critical-instance chase (MFA).")
+  in
+  let max_atoms_arg =
+    Arg.(
+      value & opt int 10000
+      & info [ "max-atoms" ] ~docv:"N"
+          ~doc:"Atom budget for the critical-instance chase (MFA).")
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Run the chase-termination hierarchy (Datalog, weak / joint / \
+          super-weak acyclicity, MFA over the critical instance) and \
+          report the strongest verdict with a checkable certificate. \
+          Exits 0 when termination is certified, 1 when the chase \
+          provably diverges, 3 when the budget ran out first.")
+    Cterm.(
+      const run $ file_arg $ json_arg $ depth_arg $ max_atoms_arg $ obs_term)
+
 (* finite *)
 
 let finite_cmd =
@@ -978,10 +1041,107 @@ let intern_stats_cmd =
           and atom counts, max ids, bytes saved by sharing).")
     Cterm.(const run $ file_arg)
 
+let termination_graph_cmd =
+  let run file which out =
+    let prog = load file in
+    let rules = prog.Parser.rules in
+    let module A = Nca_chase.Acyclicity in
+    let doc =
+      match which with
+      | `Positions ->
+          let dep = A.dependency_graph rules in
+          let pos_id p = Fmt.str "%a" A.pp_position p in
+          let nodes =
+            List.concat_map (fun (e : A.edge) -> [ e.source; e.target ]) dep
+            |> List.sort_uniq A.compare_positions
+            |> List.map (fun p -> (pos_id p, pos_id p, `Derived))
+          in
+          let edges =
+            List.map
+              (fun (e : A.edge) ->
+                ( pos_id e.source,
+                  pos_id e.target,
+                  if e.special then Some "special" else None ))
+              dep
+            |> List.sort_uniq compare
+          in
+          Nca_graph.Dot.of_dag ~name:"positions" ~nodes ~edges ()
+      | `Variables ->
+          let vid (k, z) = Fmt.str "%d.%a" k Term.pp z in
+          let vlabel v = Fmt.str "%a" (Termination.pp_vertex rules) v in
+          let nodes =
+            List.concat
+              (List.mapi
+                 (fun k r ->
+                   List.map
+                     (fun z -> ((k, z), ()))
+                     (Term.sorted_elements (Rule.exist_vars r)))
+                 rules)
+            |> List.map (fun (v, ()) -> (vid v, vlabel v, `Derived))
+          in
+          let edges =
+            List.map
+              (fun (s, t) -> (vid s, vid t, None))
+              (Termination.ja_edges rules)
+          in
+          Nca_graph.Dot.of_dag ~name:"existential_variables" ~nodes ~edges ()
+      | `Rules ->
+          let rid k = string_of_int k in
+          let rlabel k =
+            Fmt.str "%s#%d" (Rule.name (List.nth rules k)) k
+          in
+          let nodes =
+            List.mapi (fun k r -> (k, r)) rules
+            |> List.filter (fun (_, r) -> not (Rule.is_datalog r))
+            |> List.map (fun (k, _) -> (rid k, rlabel k, `Derived))
+          in
+          let edges =
+            List.map
+              (fun (s, t) -> (rid s, rid t, None))
+              (Termination.swa_edges rules)
+          in
+          Nca_graph.Dot.of_dag ~name:"trigger_graph" ~nodes ~edges ()
+    in
+    (match out with
+    | None -> print_string doc
+    | Some path ->
+        write_out path doc;
+        Fmt.pr "wrote %s@." path);
+    0
+  in
+  let which_arg =
+    let graphs =
+      [ ("positions", `Positions); ("variables", `Variables);
+        ("rules", `Rules) ]
+    in
+    Arg.(
+      value
+      & opt (enum graphs) `Positions
+      & info [ "g"; "graph" ] ~docv:"KIND"
+          ~doc:
+            "Which termination graph to emit: $(b,positions) (the weak-\
+             acyclicity position dependency graph, special edges \
+             labelled), $(b,variables) (the joint-acyclicity existential-\
+             variable graph), or $(b,rules) (the super-weak-acyclicity \
+             trigger graph).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT here.")
+  in
+  Cmd.v
+    (Cmd.info "termination-graph"
+       ~doc:
+         "Export the graphs behind the termination classifier as \
+          Graphviz DOT.")
+    Cterm.(const run $ file_arg $ which_arg $ out_arg)
+
 let debug_cmd =
   Cmd.group
     (Cmd.info "debug" ~doc:"Introspection helpers for the engine internals.")
-    [ intern_stats_cmd ]
+    [ intern_stats_cmd; termination_graph_cmd ]
 
 let () =
   let doc = "the No-Cliques-Allowed toolkit for existential rules" in
@@ -995,5 +1155,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ chase_cmd; explain_cmd; rewrite_cmd; properties_cmd; lint_cmd;
-            surgery_cmd; analyze_cmd; tournament_cmd; classes_cmd;
-            finite_cmd; dot_cmd; zoo_cmd; debug_cmd ]))
+            classify_cmd; surgery_cmd; analyze_cmd; tournament_cmd;
+            classes_cmd; finite_cmd; dot_cmd; zoo_cmd; debug_cmd ]))

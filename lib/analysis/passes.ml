@@ -242,8 +242,15 @@ let weak_acyclicity (p : Parser.program) =
   match Nca_chase.Acyclicity.offending_cycle p.rules with
   | None -> []
   | Some cycle ->
+      (* a stronger criterion of the hierarchy may still certify
+         termination — then the cycle is information, not a warning *)
+      let severity =
+        match (Termination.classify_cached p.rules).verdict with
+        | Termination.Terminating _ -> D.Info
+        | _ -> D.Warning
+      in
       [
-        D.make ~code:"NCA007" ~severity:D.Warning ~location:D.Program
+        D.make ~code:"NCA007" ~severity ~location:D.Program
           ~certificate:
             (Fmt.str "%a"
                Fmt.(list ~sep:(any " → ") Nca_chase.Acyclicity.pp_position)
@@ -342,6 +349,11 @@ module SG = Nca_graph.Digraph.Make (struct
 end)
 
 let existential_cascade (p : Parser.program) =
+  let certified_terminating () =
+    match (Termination.classify_cached p.rules).verdict with
+    | Termination.Terminating _ -> true
+    | _ -> false
+  in
   let g =
     List.fold_left
       (fun g r ->
@@ -355,39 +367,46 @@ let existential_cascade (p : Parser.program) =
           (Symbol.Set.elements (preds_of_atoms (Rule.body r))))
       SG.empty p.rules
   in
-  List.filter_map
-    (fun (i, r) ->
-      if Rule.is_datalog r then None
-      else
-        (* name order: the first feedback pair found is printed in the
-           certificate, so the scan order must be byte-stable *)
-        let body = Symbol.sorted_elements (preds_of_atoms (Rule.body r)) in
-        let head = Symbol.sorted_elements (preds_of_atoms (Rule.head r)) in
-        let feedback =
-          List.concat_map
-            (fun hp ->
-              List.filter_map
-                (fun bp ->
-                  if Symbol.equal hp bp || SG.reaches hp bp g then
-                    Some (hp, bp)
-                  else None)
-                body)
-            head
-        in
-        match feedback with
-        | [] -> None
-        | (hp, bp) :: _ ->
-            Some
-              (D.make ~code:"NCA010" ~severity:D.Warning
-                 ~location:(rule_site i r)
-                 ~certificate:
-                   (Fmt.str "%a →* %a feeds the rule's own body" Symbol.pp
-                      hp Symbol.pp bp)
-                 ~hint:"each firing can enable another — see NCA007 for the \
-                        position-level (finer) criterion"
-                 "existential rule feeds its own body through the predicate \
-                  dependency graph — unbounded null cascade risk"))
-    (indexed_rules p)
+  let diags =
+    List.filter_map
+      (fun (i, r) ->
+        if Rule.is_datalog r then None
+        else
+          (* name order: the first feedback pair found is printed in the
+             certificate, so the scan order must be byte-stable *)
+          let body = Symbol.sorted_elements (preds_of_atoms (Rule.body r)) in
+          let head = Symbol.sorted_elements (preds_of_atoms (Rule.head r)) in
+          let feedback =
+            List.concat_map
+              (fun hp ->
+                List.filter_map
+                  (fun bp ->
+                    if Symbol.equal hp bp || SG.reaches hp bp g then
+                      Some (hp, bp)
+                    else None)
+                  body)
+              head
+          in
+          match feedback with
+          | [] -> None
+          | (hp, bp) :: _ ->
+              Some
+                (D.make ~code:"NCA010" ~severity:D.Warning
+                   ~location:(rule_site i r)
+                   ~certificate:
+                     (Fmt.str "%a →* %a feeds the rule's own body" Symbol.pp
+                        hp Symbol.pp bp)
+                   ~hint:"each firing can enable another — see NCA007 for \
+                          the position-level (finer) criterion"
+                   "existential rule feeds its own body through the \
+                    predicate dependency graph — unbounded null cascade \
+                    risk"))
+      (indexed_rules p)
+  in
+  (* predicate-level feedback is the coarsest signal in the hierarchy:
+     when the classifier certifies termination outright, the cascade
+     cannot be unbounded and the warning would be noise *)
+  if diags <> [] && certified_terminating () then [] else diags
 
 (* ------------------------------------------------------------------ *)
 (* NCA011 — trivial loop *)
@@ -450,6 +469,136 @@ let non_binary p =
              Symbol.pp s (Symbol.arity s))
         :: acc)
     (program_signature p) []
+
+(* ------------------------------------------------------------------ *)
+(* NCA014–NCA018 — the acyclicity hierarchy (Termination classifier) *)
+
+module T = Termination
+
+(* The passes below all consult {!Termination.classify_cached}, which
+   memoizes the classification (including the budgeted critical-instance
+   chase) so the hierarchy runs once per lint invocation, not once per
+   pass. Diagnostics print rule and variable names only — never null
+   ids, which are not stable across in-process runs. *)
+
+let hierarchy_severity (t : T.t) =
+  (* a cycle in a weaker criterion's graph is only informational when a
+     stronger criterion already certifies termination *)
+  match t.T.verdict with T.Terminating _ -> D.Info | _ -> D.Warning
+
+(* render [v0 … vk] (closing edge vk → v0) as v0 → … → vk → v0 *)
+let pp_cycle pp_v ppf = function
+  | [] -> ()
+  | v0 :: _ as cycle ->
+      Fmt.(list ~sep:(any " → ") pp_v) ppf (cycle @ [ v0 ])
+
+let joint_acyclicity (p : Parser.program) =
+  let t = T.classify_cached p.rules in
+  match t.T.ja_cycle with
+  | None -> []
+  | Some cycle ->
+      [
+        D.make ~code:"NCA014" ~severity:(hierarchy_severity t)
+          ~location:D.Program
+          ~certificate:
+            (Fmt.str "%a" (pp_cycle (T.pp_vertex p.rules)) cycle)
+          ~hint:
+            "not fatal — joint acyclicity is only sufficient; the \
+             classifier falls through to super-weak acyclicity (NCA015) \
+             and the critical-instance test (NCA016)"
+          "not jointly acyclic: the existential-variable dependency graph \
+           has a cycle, so a null invented for each variable on it can \
+           trigger the next [Krötzsch & Rudolph]";
+      ]
+
+let super_weak_acyclicity (p : Parser.program) =
+  let t = T.classify_cached p.rules in
+  match t.T.swa_cycle with
+  | None -> []
+  | Some cycle ->
+      let pp_rule ppf k =
+        Fmt.pf ppf "%s#%d" (Rule.name (List.nth p.rules k)) k
+      in
+      [
+        D.make ~code:"NCA015" ~severity:(hierarchy_severity t)
+          ~location:D.Program
+          ~certificate:(Fmt.str "%a" (pp_cycle pp_rule) cycle)
+          ~hint:
+            "place unification is approximated by predicate positions — \
+             a cycle here still leaves the critical-instance test \
+             (NCA016) to certify termination"
+          "not super-weakly acyclic: the trigger graph over existential \
+           rules has a cycle [Marnette]";
+      ]
+
+let mfa (p : Parser.program) =
+  let t = T.classify_cached p.rules in
+  match (t.T.cyclic_term, t.T.verdict) with
+  | Some (k, z), _ ->
+      let r = List.nth p.rules k in
+      [
+        D.make ~code:"NCA016" ~severity:D.Warning ~location:(rule_site k r)
+          ~certificate:
+            (Fmt.str "the nulls invented for %a of rule %s#%d nest"
+               Term.pp z (Rule.name r) k)
+          ~hint:
+            "the classical MFA test fails exactly on cyclic terms — \
+             NCA017 reports a divergence proof when one is found"
+          "MFA fails: the critical-instance chase nests a null inside an \
+           ancestor null invented by the same rule and variable \
+           [Cuenca Grau et al.]";
+      ]
+  | None, T.Unknown e ->
+      [
+        D.make ~code:"NCA016" ~severity:D.Info ~location:D.Program
+          ~certificate:(Fmt.str "%a" Nca_obs.Exhausted.pp e)
+          ~hint:
+            "raise the budget (nocliques classify --depth/--max-atoms) \
+             or supply a manual termination argument"
+          "MFA inconclusive: the critical-instance chase exhausted its \
+           budget before saturating or finding a cyclic term";
+      ]
+  | None, _ -> []
+
+let non_termination (p : Parser.program) =
+  let t = T.classify_cached p.rules in
+  match t.T.verdict with
+  | T.Non_terminating w ->
+      let r = List.nth p.rules w.T.w_rule in
+      [
+        D.make ~code:"NCA017" ~severity:D.Warning
+          ~location:(rule_site w.T.w_rule r)
+          ~certificate:(Fmt.str "%a" (T.pp_witness p.rules) w)
+          ~hint:
+            "every firing yields a new trigger whose frontier image holds \
+             the null just invented — break the feedback, or chase only \
+             under budgets"
+          "the semi-oblivious chase provably diverges on the critical \
+           instance: the rule pumps a frontier variable into its own \
+           existential output";
+      ]
+  | _ -> []
+
+let termination_certified (p : Parser.program) =
+  (* Datalog-only programs terminate trivially — reporting that would be
+     noise on every clean program, so the pass speaks only when an
+     existential rule is present *)
+  if List.for_all Rule.is_datalog p.rules then []
+  else
+    let t = T.classify_cached p.rules in
+    match t.T.verdict with
+    | T.Terminating (c, cert) ->
+        [
+          D.make ~code:"NCA018" ~severity:D.Info ~location:D.Program
+            ~certificate:(Fmt.str "%a" (T.pp_certificate p.rules) cert)
+            ~hint:
+              "budgets can be relaxed — the semi-oblivious chase \
+               saturates on every instance"
+            (Fmt.str
+               "chase termination statically certified (criterion: %a)"
+               T.pp_criterion c);
+        ]
+    | _ -> []
 
 (* ------------------------------------------------------------------ *)
 (* registry *)
@@ -521,6 +670,36 @@ let registry =
       slug = "non-binary";
       doc = "predicate of arity > 2 (needs reification, §4.2)";
       run = non_binary;
+    };
+    {
+      code = "NCA014";
+      slug = "joint-acyclicity";
+      doc = "existential-variable dependency cycle (joint acyclicity fails)";
+      run = joint_acyclicity;
+    };
+    {
+      code = "NCA015";
+      slug = "super-weak-acyclicity";
+      doc = "trigger-graph cycle over existential rules (SWA fails)";
+      run = super_weak_acyclicity;
+    };
+    {
+      code = "NCA016";
+      slug = "mfa";
+      doc = "critical-instance chase found a cyclic term or ran out of budget";
+      run = mfa;
+    };
+    {
+      code = "NCA017";
+      slug = "nonterminating";
+      doc = "pumping witness: the critical-instance chase provably diverges";
+      run = non_termination;
+    };
+    {
+      code = "NCA018";
+      slug = "termination";
+      doc = "strongest termination criterion certified, with certificate";
+      run = termination_certified;
     };
   ]
 

@@ -17,6 +17,16 @@
     - [NCA010] existential-cascade / non-termination risk
     - [NCA011] trivial loops [P(x,x)] (Def. 10)
     - [NCA012] non-binary signature (needs reification, §4.2)
+    - [NCA014] joint acyclicity, with the existential-variable cycle
+    - [NCA015] super-weak acyclicity, with the trigger-graph cycle
+    - [NCA016] MFA over the critical instance (cyclic term / exhausted)
+    - [NCA017] provable non-termination, with a pumping witness
+    - [NCA018] termination certified, naming the strongest criterion
+
+    [NCA014]–[NCA018] all consult {!Termination.classify_cached}, so
+    the budgeted critical-instance chase runs once per lint invocation.
+    When the classifier certifies termination, [NCA007] and [NCA014]/
+    [NCA015] downgrade to [Info] and [NCA010] stays silent.
 
     Codes [NCA001] (parse error) and [NCA013] (pipeline invariant) are
     emitted by {!Lint}, not by a registry pass. *)

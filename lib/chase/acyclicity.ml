@@ -49,31 +49,56 @@ let dependency_graph rules =
         [] frontier)
     rules
 
-module PG = Nca_graph.Digraph.Make (struct
-  type t = position
+let compare_positions (p, i) (q, j) =
+  match Symbol.compare_names p q with 0 -> Int.compare i j | c -> c
 
-  (* name order (not id order): the DFS of [offending_cycle] visits
-     successors in this order, and the reconstructed path is printed in
-     lint certificates, so it must be byte-stable across runs *)
-  let compare (p, i) (q, j) =
-    match Symbol.compare_names p q with 0 -> Int.compare i j | c -> c
+(* Positions interned to dense ids: position (p, i) becomes
+   [offset p + i], with offsets laid out over the rule signature in
+   intern-id order. The adjacency lives in an id-keyed {!Intgraph}
+   (edges deduplicated on insertion) instead of a structural map; ids
+   never reach output — every printing boundary below sorts by
+   {!compare_positions} (name order) first. *)
+type interned = {
+  id : position -> int;
+  pos : position array;  (** inverse of [id] *)
+  graph : Nca_graph.Intgraph.t;
+}
 
-  let pp ppf (p, i) = Fmt.pf ppf "%a.%d" Symbol.pp_name p i
-end)
+let intern_graph rules edges =
+  let syms =
+    (* include the full signature, not just positions touched by edges,
+       so [pos] inverts [id] on every printable position *)
+    Rule.signature rules
+  in
+  let offsets, total =
+    Symbol.Set.fold
+      (fun p (m, n) -> (Symbol.Map.add p n m, n + Symbol.arity p))
+      syms (Symbol.Map.empty, 0)
+  in
+  let pos = Array.make (max total 1) (Symbol.top, 0) in
+  Symbol.Set.iter
+    (fun p ->
+      let base = Symbol.Map.find p offsets in
+      for i = 0 to Symbol.arity p - 1 do
+        pos.(base + i) <- (p, i)
+      done)
+    syms;
+  let id (p, i) = Symbol.Map.find p offsets + i in
+  let graph = Nca_graph.Intgraph.create total in
+  List.iter (fun e -> Nca_graph.Intgraph.add_edge graph (id e.source) (id e.target)) edges;
+  { id; pos; graph }
 
 (* A cycle through a special edge (s, t) exists iff t reaches s. *)
 let find_special_cycle rules =
   let edges = dependency_graph rules in
-  let g =
-    List.fold_left
-      (fun g e -> PG.add_edge e.source e.target g)
-      PG.empty edges
-  in
+  let g = intern_graph rules edges in
   List.find_map
     (fun e ->
       if not e.special then None
-      else if e.source = e.target || PG.reaches e.target e.source g then
-        Some (e.source, e.target, g)
+      else if
+        e.source = e.target
+        || Nca_graph.Intgraph.reaches g.graph (g.id e.target) (g.id e.source)
+      then Some (e.source, e.target, g)
       else None)
     edges
 
@@ -82,18 +107,24 @@ let is_weakly_acyclic rules = Option.is_none (find_special_cycle rules)
 let offending_cycle rules =
   Option.map
     (fun (s, t, g) ->
-      (* reconstruct a path t →* s by DFS *)
+      (* reconstruct a path t →* s by DFS; successors are visited in
+         name order (not id order) so the reconstructed path — printed
+         in lint certificates — stays byte-stable across runs *)
+      let succs v =
+        Nca_graph.Intgraph.succs g.graph (g.id v)
+        |> List.map (fun w -> g.pos.(w))
+        |> List.sort compare_positions
+      in
       let rec path visited v =
         if v = s then Some [ v ]
         else if List.mem v visited then None
         else
-          PG.VSet.fold
-            (fun w acc ->
+          List.fold_left
+            (fun acc w ->
               match acc with
               | Some _ -> acc
-              | None ->
-                  Option.map (fun p -> v :: p) (path (v :: visited) w))
-            (PG.succs v g) None
+              | None -> Option.map (fun p -> v :: p) (path (v :: visited) w))
+            None (succs v)
       in
       match if s = t then Some [ t ] else path [] t with
       | Some p -> s :: p

@@ -8,8 +8,10 @@
     position to a head position, and a {e special} edge from each
     frontier-variable body position to each position holding an
     existential variable of the same rule — has no cycle through a
-    special edge. The oblivious chase of a weakly acyclic rule set
-    terminates on every instance. *)
+    special edge. The semi-oblivious (and the restricted) chase of a
+    weakly acyclic rule set terminates on every instance; see
+    {!Nca_analysis.Termination} for the rest of the acyclicity
+    hierarchy built on top of this graph. *)
 
 open Nca_logic
 
@@ -17,6 +19,11 @@ type position = Symbol.t * int
 (** A predicate position, 0-based. *)
 
 type edge = { source : position; target : position; special : bool }
+
+val compare_positions : position -> position -> int
+(** Structural order: predicate by name, then position index. Use this
+    (not the polymorphic compare) wherever position order reaches
+    printed output. *)
 
 val dependency_graph : Rule.t list -> edge list
 (** All edges of the position dependency graph. *)

@@ -1,0 +1,102 @@
+type t = {
+  size : int;
+  mutable num_edges : int;
+  adj : int list array;  (** reversed insertion order *)
+  mem : (int, unit) Hashtbl.t;  (** keys [u * size + v] *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Intgraph.create: negative size";
+  { size = n; num_edges = 0; adj = Array.make n []; mem = Hashtbl.create 64 }
+
+let size g = g.size
+let num_edges g = g.num_edges
+
+let check g v =
+  if v < 0 || v >= g.size then invalid_arg "Intgraph: vertex out of range"
+
+let key g u v = (u * g.size) + v
+let mem_edge g u v = Hashtbl.mem g.mem (key g u v)
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if not (mem_edge g u v) then begin
+    Hashtbl.add g.mem (key g u v) ();
+    g.adj.(u) <- v :: g.adj.(u);
+    g.num_edges <- g.num_edges + 1
+  end
+
+let succs g u =
+  check g u;
+  List.rev g.adj.(u)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.size - 1 downto 0 do
+    acc := List.fold_left (fun acc v -> (u, v) :: acc) !acc g.adj.(u)
+  done;
+  !acc
+
+let reaches g s t =
+  check g s;
+  check g t;
+  let seen = Array.make g.size false in
+  (* DFS from the successors of [s], so [s] itself is reached only
+     through a cycle — matching {!Digraph.reaches}. *)
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter visit g.adj.(v)
+    end
+  in
+  List.iter visit g.adj.(s);
+  seen.(t)
+
+(* Three-color DFS: White = 0, Gray = 1, Black = 2. A back edge to a
+   Gray vertex closes a cycle along the current stack. *)
+let find_cycle g =
+  let color = Array.make g.size 0 in
+  let exception Found of int list in
+  (* [path] lists the Gray vertices, current first. *)
+  let rec visit path v =
+    color.(v) <- 1;
+    List.iter
+      (fun w ->
+        match color.(w) with
+        | 0 -> visit (w :: path) w
+        | 1 ->
+            (* cycle: [w … v] along the stack, plus the edge [v → w] *)
+            let rec take acc = function
+              | [] -> acc
+              | x :: tl -> if x = w then w :: acc else take (x :: acc) tl
+            in
+            raise (Found (take [] path))
+        | _ -> ())
+      (succs g v);
+    color.(v) <- 2
+  in
+  try
+    for v = 0 to g.size - 1 do
+      if color.(v) = 0 then visit [ v ] v
+    done;
+    None
+  with Found c -> Some c
+
+let topo_sort g =
+  match find_cycle g with
+  | Some _ -> None
+  | None ->
+      let visited = Array.make g.size false in
+      let order = ref [] in
+      let rec visit v =
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          List.iter visit (succs g v);
+          order := v :: !order
+        end
+      in
+      for v = 0 to g.size - 1 do
+        visit v
+      done;
+      Some !order

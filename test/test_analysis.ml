@@ -412,9 +412,25 @@ let lint_fixtures =
     ( "NCA009",
       "r: A(x) -> E(x,y), E(y,z).",
       "r: A(x) -> E(x,y), F(y,z)." );
-    ("NCA010", "g: A(x) -> E(x,y), A(y).", "r: E(x,y) -> F(x,z).");
+    ( "NCA010",
+      "g: A(x) -> E(x,y), A(y).",
+      (* predicate-level feedback exists here (E feeds B feeds r1), but
+         the classifier certifies termination, so the pass stays silent *)
+      "r1: A(x), B(x) -> E(x,z). r2: E(x,z) -> B(z)." );
     ("NCA011", "r: E(x,y) -> E(x,x).", "r: E(x,y) -> E(y,x).");
     ("NCA012", "r: R(x,y,z) -> A(x).", "r: E(x,y) -> A(x).");
+    ("NCA014", "g: A(x) -> E(x,y), A(y).", "r: A(x) -> E(x,y).");
+    ("NCA015", "g: A(x) -> E(x,y), A(y).", "r: A(x) -> E(x,y).");
+    ("NCA016", "g: A(x) -> E(x,y), A(y).", "r: A(x) -> E(x,y).");
+    ( "NCA017",
+      "g: A(x) -> E(x,y), A(y).",
+      (* not acyclic in any static sense, but MFA-terminating: no
+         pumping witness exists *)
+      "r1: A(x) -> E(x,z), E(z,x). r2: E(y,y) -> A(y)." );
+    ( "NCA018",
+      "r: A(x) -> E(x,y).",
+      (* Datalog-only termination is trivial and stays unreported *)
+      "tc: E(x,y), E(y,z) -> E(x,z)." );
   ]
 
 let test_lint_fixture_table () =
@@ -518,9 +534,207 @@ let test_lint_select () =
   check "unselected codes suppressed" true
     (List.for_all (fun (d : Diag.t) -> d.code = "NCA011") ds)
 
+(* ------------------------------------------------------------------ *)
+(* Termination classifier: the acyclicity hierarchy, certificate
+   checking (including rejection of corrupted certificates), and the
+   differential oracle — every Terminating verdict is confirmed by an
+   actual budgeted chase of the critical instance. *)
+
+module T = Nca_analysis.Termination
+
+let check_ok what = function
+  | Ok () -> ()
+  | Error reason -> Alcotest.failf "%s: certificate rejected: %s" what reason
+
+let check_rejected what = function
+  | Ok () -> Alcotest.failf "%s: corrupted certificate accepted" what
+  | Error _ -> ()
+
+(* the sources of examples/programs/{ja_demo,mirror}.nca, inline so the
+   unit tests do not depend on the example corpus *)
+let ja_demo_rules =
+  Parser.parse_rules "r1: A(x), B(x) -> E(x,z). r2: E(x,z) -> B(z)."
+
+let mirror_rules =
+  Parser.parse_rules "r1: A(x) -> E(x,z), E(z,x). r2: E(y,y) -> A(y)."
+
+let test_classify_datalog () =
+  let t = T.classify (Parser.parse_rules "tc: E(x,y), E(y,z) -> E(x,z).") in
+  (match t.T.verdict with
+  | T.Terminating (T.Datalog, T.Datalog_cert) -> ()
+  | v -> Alcotest.failf "expected datalog verdict, got %a" (T.pp_verdict t.T.rules) v);
+  check "JA holds" true t.T.jointly_acyclic;
+  check "SWA holds" true t.T.super_weakly_acyclic;
+  check "MFA holds" true (t.T.mfa = Some true)
+
+let test_classify_weakly_acyclic () =
+  let rules = Parser.parse_rules "r: A(x) -> E(x,y). s: E(x,y) -> B(y)." in
+  let t = T.classify rules in
+  match t.T.verdict with
+  | T.Terminating (T.Weak_acyclicity, T.Ranking _) as v ->
+      check_ok "WA ranking" (T.check rules v)
+  | v ->
+      Alcotest.failf "expected weak-acyclicity, got %a" (T.pp_verdict rules) v
+
+let test_classify_jointly_acyclic () =
+  let t = T.classify ja_demo_rules in
+  check "not weakly acyclic" false t.T.classes.Nca_surgery.Classes.weakly_acyclic;
+  match t.T.verdict with
+  | T.Terminating (T.Joint_acyclicity, T.Ja_order _) as v ->
+      check_ok "JA order" (T.check ja_demo_rules v)
+  | v ->
+      Alcotest.failf "expected joint-acyclicity, got %a"
+        (T.pp_verdict ja_demo_rules) v
+
+let test_classify_mfa () =
+  (* every static criterion fails on mirror, yet the critical-instance
+     chase saturates: only the dynamic test certifies termination *)
+  let t = T.classify mirror_rules in
+  check "not jointly acyclic" false t.T.jointly_acyclic;
+  check "not super-weakly acyclic" false t.T.super_weakly_acyclic;
+  match t.T.verdict with
+  | T.Terminating (T.Mfa, T.Critical_chase run) as v ->
+      check_ok "critical chase" (T.check mirror_rules v);
+      (match run.T.mfa_proof with
+      | None -> Alcotest.fail "expected a derivation proof on the chase"
+      | Some p ->
+          let critical = Instance.critical (Rule.signature mirror_rules) in
+          check "proof replays against the critical instance" true
+            (Nca_provenance.Proof.check ~rules:mirror_rules ~input:critical p
+            = Ok ()))
+  | v -> Alcotest.failf "expected mfa, got %a" (T.pp_verdict mirror_rules) v
+
+let test_classify_example1_diverges () =
+  (* the paper's Example 1 is not weakly acyclic and its semi-oblivious
+     chase genuinely diverges — the classifier must find the pumping
+     witness, not an MFA certificate *)
+  let entry = Rulesets.example1 in
+  let t = T.classify entry.Rulesets.rules in
+  match t.T.verdict with
+  | T.Non_terminating w as v ->
+      check_ok "pumping witness" (T.check entry.Rulesets.rules v);
+      check "witness names a rule of the set" true
+        (w.T.w_rule >= 0 && w.T.w_rule < List.length entry.Rulesets.rules)
+  | v ->
+      Alcotest.failf "expected divergence, got %a"
+        (T.pp_verdict entry.Rulesets.rules) v
+
+let test_classify_cascade_cyclic_term () =
+  let rules = Parser.parse_rules "g: A(x) -> E(x,y), A(y)." in
+  let t = T.classify rules in
+  check "cyclic term found" true (Option.is_some t.T.cyclic_term);
+  check "MFA fails" true (t.T.mfa = Some false);
+  match t.T.verdict with
+  | T.Non_terminating _ -> ()
+  | v -> Alcotest.failf "expected divergence, got %a" (T.pp_verdict rules) v
+
+let test_corrupted_certificates_rejected () =
+  let wa_rules = Parser.parse_rules "r: A(x) -> E(x,y)." in
+  (* a flat ranking violates ρ(s) < ρ(t) on the special edges *)
+  let positions =
+    match T.classify wa_rules with
+    | { T.verdict = T.Terminating (_, T.Ranking l); _ } -> List.map fst l
+    | _ -> Alcotest.fail "fixture is weakly acyclic"
+  in
+  check_rejected "flat ranking"
+    (T.check wa_rules
+       (T.Terminating
+          (T.Weak_acyclicity, T.Ranking (List.map (fun p -> (p, 0)) positions))));
+  (* a ranking on a genuinely non-WA set can never verify *)
+  check_rejected "ranking on a non-WA set"
+    (T.check ja_demo_rules (T.Terminating (T.Weak_acyclicity, T.Ranking [])));
+  (* reversing a topological order breaks the edge constraint *)
+  (match T.classify ja_demo_rules with
+  | { T.verdict = T.Terminating (T.Joint_acyclicity, T.Ja_order order); _ }
+    ->
+      check_rejected "JA order on the wrong rule set"
+        (T.check mirror_rules
+           (T.Terminating (T.Joint_acyclicity, T.Ja_order order)))
+  | _ -> Alcotest.fail "fixture is jointly acyclic");
+  (* tampering with the recorded chase bounds must not replay *)
+  (match T.classify mirror_rules with
+  | { T.verdict = T.Terminating (T.Mfa, T.Critical_chase run); _ } ->
+      check_rejected "inflated atom count"
+        (T.check mirror_rules
+           (T.Terminating
+              (T.Mfa, T.Critical_chase { run with T.mfa_atoms = run.T.mfa_atoms + 5 })))
+  | _ -> Alcotest.fail "fixture is mfa-terminating");
+  (* a witness over a terminating rule set must be refuted *)
+  let x = Term.var "x" and y = Term.var "y" in
+  check_rejected "fabricated witness"
+    (T.check wa_rules
+       (T.Non_terminating
+          { T.w_rule = 0; w_var = x; w_hom = Subst.of_list [ (x, y) ] }))
+
+let test_classifier_matches_goldens_corpus () =
+  (* differential oracle: every Terminating verdict over the zoo is
+     confirmed by actually chasing the critical instance to saturation
+     under a generous independent budget *)
+  let generous = Nca_obs.Budget.v ~max_depth:30 ~max_atoms:100_000 () in
+  List.iter
+    (fun (e : Rulesets.entry) ->
+      match (T.classify e.Rulesets.rules).T.verdict with
+      | T.Terminating _ ->
+          let critical = Instance.critical (Rule.signature e.Rulesets.rules) in
+          let c =
+            Nca_chase.Chase.run ~variant:Nca_chase.Chase.Semi_oblivious
+              ~max_depth:1_000_000 ~max_atoms:1_000_000 ~budget:generous
+              critical e.Rulesets.rules
+          in
+          check
+            (Fmt.str "%s: certified termination confirmed by the chase"
+               e.Rulesets.name)
+            true c.Nca_chase.Chase.saturated;
+          (* Datalog entries double-checked against the saturation engine *)
+          if List.for_all Rule.is_datalog e.Rulesets.rules then
+            check
+              (Fmt.str "%s: Datalog.saturate agrees" e.Rulesets.name)
+              true
+              (match Nca_chase.Datalog.saturate critical e.Rulesets.rules with
+              | Ok _ -> true
+              | Error _ -> false)
+      | T.Non_terminating _ | T.Unknown _ -> ())
+    Rulesets.zoo
+
+let prop_hierarchy_containment =
+  QCheck.Test.make ~name:"WA ⇒ JA ⇒ SWA; terminating ⇒ chase saturates"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun seed ->
+             Rulesets.random_forward_existential_rules ~seed ~rules:6)
+           (int_range 0 5000)))
+    (fun rules ->
+      QCheck.assume (rules <> []);
+      (* classify re-checks its own certificate internally, so a bogus
+         emission would raise here and fail the property *)
+      let t = T.classify rules in
+      let wa = t.T.classes.Nca_surgery.Classes.weakly_acyclic in
+      let chase_saturates () =
+        let critical = Instance.critical (Rule.signature rules) in
+        let c =
+          Nca_chase.Chase.run ~variant:Nca_chase.Chase.Semi_oblivious
+            ~max_depth:1_000_000 ~max_atoms:1_000_000
+            ~budget:(Nca_obs.Budget.v ~max_depth:30 ~max_atoms:100_000 ())
+            critical rules
+        in
+        c.Nca_chase.Chase.saturated
+      in
+      (not wa || t.T.jointly_acyclic)
+      && ((not t.T.jointly_acyclic) || t.T.super_weakly_acyclic)
+      && ((not t.T.super_weakly_acyclic) || t.T.mfa <> Some false)
+      &&
+      match t.T.verdict with
+      | T.Terminating _ -> chase_saturates ()
+      | T.Non_terminating _ | T.Unknown _ -> true)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_chromatic_at_least_tournament; prop_core_equivalent ]
+    [
+      prop_chromatic_at_least_tournament; prop_core_equivalent;
+      prop_hierarchy_containment;
+    ]
 
 let tc name fn = Alcotest.test_case name `Quick fn
 
@@ -585,6 +799,19 @@ let () =
         [
           tc "shape" test_critical_instance;
           tc "datalog saturation" test_critical_detects_nontermination_direction;
+        ] );
+      ( "termination",
+        [
+          tc "datalog" test_classify_datalog;
+          tc "weak acyclicity + ranking" test_classify_weakly_acyclic;
+          tc "joint acyclicity (ja_demo)" test_classify_jointly_acyclic;
+          tc "mfa with proof (mirror)" test_classify_mfa;
+          tc "example1 diverges with witness" test_classify_example1_diverges;
+          tc "cyclic term (cascade core)" test_classify_cascade_cyclic_term;
+          tc "corrupted certificates rejected"
+            test_corrupted_certificates_rejected;
+          tc "differential oracle over the zoo"
+            test_classifier_matches_goldens_corpus;
         ] );
       ( "lint",
         [
