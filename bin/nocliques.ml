@@ -105,6 +105,7 @@ type obs = {
   stats_json : bool;
   timeout : float option;
   provenance : bool;
+  no_planner : bool;
 }
 
 let obs_term =
@@ -122,7 +123,7 @@ let obs_term =
       & info [ "stats-json" ]
           ~doc:
             "Print the telemetry snapshot as one line of JSON (schema \
-             nocliques/stats/v2) to stdout after the run.")
+             nocliques/stats/v3) to stdout after the run.")
   in
   let timeout_arg =
     Arg.(
@@ -144,10 +145,20 @@ let obs_term =
              counters of --stats-json and the store behind the proof \
              artefacts (implied by --explain, --proof-json, --proof-dot).")
   in
+  let no_planner_arg =
+    Arg.(
+      value & flag
+      & info [ "no-planner" ]
+          ~doc:
+            "Run homomorphism search on the interpreted engine instead of \
+             the compiled join plans (A/B debugging; same as setting \
+             NOCLIQUES_NO_PLANNER). Output is identical either way.")
+  in
   Cterm.(
-    const (fun trace stats_json timeout provenance ->
-        { trace; stats_json; timeout; provenance })
-    $ trace_arg $ stats_json_arg $ timeout_arg $ provenance_arg)
+    const (fun trace stats_json timeout provenance no_planner ->
+        { trace; stats_json; timeout; provenance; no_planner })
+    $ trace_arg $ stats_json_arg $ timeout_arg $ provenance_arg
+    $ no_planner_arg)
 
 let budget_of obs =
   match obs.timeout with
@@ -159,6 +170,7 @@ let budget_of obs =
    (machine channel), whatever status the body returns. *)
 let with_obs obs f =
   let recording = obs.trace || obs.stats_json in
+  if obs.no_planner then Nca_plan.Exec.set_enabled false;
   if recording then Telemetry.enable ();
   if obs.provenance then Provenance.enable ();
   Fun.protect
@@ -1041,6 +1053,39 @@ let intern_stats_cmd =
           and atom counts, max ids, bytes saved by sharing).")
     Cterm.(const run $ file_arg)
 
+let plan_cmd =
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Emit the join graph of each body in DOT instead of text.")
+  in
+  let run file dot =
+    let prog = load file in
+    let stats = prog.Parser.facts in
+    List.iter
+      (fun r ->
+        let plan = Nca_plan.Plan.compile ~stats (Rule.body r) in
+        if dot then
+          Fmt.pr "// rule %s@.%a" (Rule.name r) Nca_plan.Plan.pp_dot plan
+        else Fmt.pr "rule %s:@.%a@." (Rule.name r) Nca_plan.Plan.pp plan)
+      prog.Parser.rules;
+    List.iteri
+      (fun i q ->
+        let plan = Nca_plan.Plan.compile ~stats (Cq.body q) in
+        if dot then Fmt.pr "// query %d@.%a" i Nca_plan.Plan.pp_dot plan
+        else Fmt.pr "query %d:@.%a@." i Nca_plan.Plan.pp plan)
+      prog.Parser.queries;
+    0
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Print the compiled join plan of every rule body (and query) of a \
+          program: slot assignment and, per possible root atom, the static \
+          step order with the per-position actions the executor will run.")
+    Cterm.(const run $ file_arg $ dot_arg)
+
 let termination_graph_cmd =
   let run file which out =
     let prog = load file in
@@ -1141,7 +1186,7 @@ let termination_graph_cmd =
 let debug_cmd =
   Cmd.group
     (Cmd.info "debug" ~doc:"Introspection helpers for the engine internals.")
-    [ intern_stats_cmd; termination_graph_cmd ]
+    [ intern_stats_cmd; plan_cmd; termination_graph_cmd ]
 
 let () =
   let doc = "the No-Cliques-Allowed toolkit for existential rules" in

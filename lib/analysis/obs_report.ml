@@ -1,4 +1,4 @@
-let schema = "nocliques/stats/v2"
+let schema = "nocliques/stats/v3"
 
 let rec span_json (s : Nca_obs.Telemetry.span_stats) =
   Json.Obj
@@ -18,12 +18,23 @@ let provenance_json () =
       ("max_depth", Json.Int p.Nca_provenance.Provenance.max_depth);
     ]
 
+let plan_json () =
+  let plans, hits, misses = Nca_plan.Cache.stats () in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (Nca_plan.Exec.enabled ()));
+      ("plans", Json.Int plans);
+      ("cache_hits", Json.Int hits);
+      ("cache_misses", Json.Int misses);
+    ]
+
 let of_snapshot (snap : Nca_obs.Telemetry.snapshot) =
   Json.Obj
     [
       ("schema", Json.String schema);
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters) );
+      ("plan", plan_json ());
       ("provenance", provenance_json ());
       ("spans", Json.List (List.map span_json snap.spans));
     ]

@@ -73,7 +73,7 @@ let round ?(round_no = 0) rules ~total ~delta =
                   else total ))
               body
           in
-          Hom.iter_targets goals (fun h ->
+          Nca_plan.Exec.iter_targets goals (fun h ->
               List.iter
                 (fun head_atom ->
                   let derived = Subst.apply_atom h head_atom in

@@ -38,7 +38,7 @@ let frontier_key tr = make_key tr.rule (Rule.frontier tr.rule) tr.hom
 let all rules i =
   List.concat_map
     (fun rule ->
-      List.map (fun hom -> { rule; hom }) (Hom.all (Rule.body rule) i))
+      List.map (fun hom -> { rule; hom }) (Nca_plan.Exec.all (Rule.body rule) i))
     rules
 
 (* Semi-naive enumeration: a homomorphism into [total] uses a delta atom
@@ -60,7 +60,7 @@ let all_delta rules ~total ~delta =
                 (a, if j < pivot then old else if j = pivot then delta else total))
               body
           in
-          Hom.iter_targets goals (fun hom -> acc := { rule; hom } :: !acc))
+          Nca_plan.Exec.iter_targets goals (fun hom -> acc := { rule; hom } :: !acc))
         body)
     rules;
   List.rev !acc

@@ -24,6 +24,14 @@ type t = {
   size : int;
   index : Atom.Set.t Symbol.Map.t;
   pos : Atom.Set.t Pos_map.t;
+  (* Frozen posting arrays, filled on demand by {!posting} and
+     {!pred_array}. Each array is derived from the immutable [pos]/[index]
+     maps of this very record, so memoizing it here never changes the
+     observable value of the instance — [add]/[remove] build records with
+     fresh empty caches. Atoms are stored in ascending [Atom.id] order
+     ([Atom.Set.elements]), the order the leapfrog executor merges on. *)
+  mutable acache : Atom.t array Pos_map.t;
+  mutable pcache : Atom.t array Symbol.Map.t;
 }
 
 let empty =
@@ -32,6 +40,8 @@ let empty =
     size = 0;
     index = Symbol.Map.empty;
     pos = Pos_map.empty;
+    acache = Pos_map.empty;
+    pcache = Symbol.Map.empty;
   }
 
 let update_pos f a pos =
@@ -62,6 +72,8 @@ let add a i =
                 | Some s -> Some (Atom.Set.add a s))
               pos)
           a i.pos;
+      acache = Pos_map.empty;
+      pcache = Symbol.Map.empty;
     }
 
 let remove a i =
@@ -89,6 +101,8 @@ let remove a i =
                     if Atom.Set.is_empty s then None else Some s)
               pos)
           a i.pos;
+      acache = Pos_map.empty;
+      pcache = Symbol.Map.empty;
     }
 
 let of_list l = List.fold_left (fun i a -> add a i) empty l
@@ -150,6 +164,29 @@ let candidate_count a sub i =
     (fun best (pos, t) ->
       min best (Atom.Set.cardinal (pos_find (Pos.key p pos t) i)))
     (pred_cardinal p i) (bound_positions a sub)
+
+let posting p pos t i =
+  let key = Pos.key p pos t in
+  match Pos_map.find_opt key i.acache with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.of_list (Atom.Set.elements (pos_find key i)) in
+      i.acache <- Pos_map.add key arr i.acache;
+      arr
+
+let pred_array p i =
+  match Symbol.Map.find_opt p i.pcache with
+  | Some arr -> arr
+  | None ->
+      let arr =
+        match Symbol.Map.find_opt p i.index with
+        | None -> [||]
+        | Some s -> Array.of_list (Atom.Set.elements s)
+      in
+      i.pcache <- Symbol.Map.add p arr i.pcache;
+      arr
+
+let pos_cardinal p pos t i = Atom.Set.cardinal (pos_find (Pos.key p pos t) i)
 
 let candidates a sub i =
   let p = Atom.pred a in

@@ -52,6 +52,22 @@ val with_pred : Symbol.t -> t -> Atom.t list
 val pred_cardinal : Symbol.t -> t -> int
 (** Number of atoms over the given predicate, without materializing them. *)
 
+val posting : Symbol.t -> int -> Term.t -> t -> Atom.t array
+(** [posting p pos t i]: the atoms of [i] over predicate [p] carrying term
+    [t] at argument position [pos], as an array sorted by ascending
+    {!Atom.id}. The array is frozen on first use and memoized on the
+    instance value, so repeated probes (the compiled executor's hot path)
+    cost one map lookup; callers must not mutate it. *)
+
+val pred_array : Symbol.t -> t -> Atom.t array
+(** All atoms over the given predicate as a frozen array sorted by
+    ascending {!Atom.id}; memoized like {!posting}. Callers must not
+    mutate it. *)
+
+val pos_cardinal : Symbol.t -> int -> Term.t -> t -> int
+(** [pos_cardinal p pos t i = Array.length (posting p pos t i)], without
+    freezing the array. *)
+
 val candidates : Atom.t -> Subst.t -> t -> Atom.t list
 (** [candidates a sub i]: the atoms of [i] that can possibly match the
     pattern [a] under the partial binding [sub], computed by intersecting

@@ -1,0 +1,48 @@
+(** The compiled-plan executor.
+
+    Drop-in replacement for the interpreted {!Nca_logic.Hom} search: the
+    same API, the same match sets, and — for bodies of at most two atoms —
+    the same enumeration order (root chosen at call time with [Hom]'s
+    fewest-candidates scoring, candidates merged in ascending atom-id
+    order by leapfrog intersection of the target's sorted posting
+    arrays). Plans come from {!Cache}, so each body is compiled once per
+    process.
+
+    The interpreted engine stays available as a differential oracle: when
+    the executor is disabled ([NOCLIQUES_NO_PLANNER] set to a non-empty
+    value, [--no-planner], or {!set_enabled}[ false]) every entry point
+    delegates to [Hom] verbatim. *)
+
+open Nca_logic
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Flip the engine at runtime ([--no-planner], bench A/B runs). *)
+
+val iter :
+  ?inj:bool ->
+  ?init:Subst.t ->
+  Atom.t list ->
+  Instance.t ->
+  (Subst.t -> unit) ->
+  unit
+(** Same contract as {!Nca_logic.Hom.iter}. *)
+
+val iter_targets :
+  ?init:Subst.t -> (Atom.t * Instance.t) list -> (Subst.t -> unit) -> unit
+(** Same contract as {!Nca_logic.Hom.iter_targets}: per-goal targets, the
+    primitive behind semi-naive (delta-driven) enumeration. *)
+
+val find :
+  ?inj:bool -> ?init:Subst.t -> Atom.t list -> Instance.t -> Subst.t option
+
+val exists : ?inj:bool -> ?init:Subst.t -> Atom.t list -> Instance.t -> bool
+val all : ?inj:bool -> ?init:Subst.t -> Atom.t list -> Instance.t -> Subst.t list
+val count : ?inj:bool -> ?init:Subst.t -> Atom.t list -> Instance.t -> int
+
+val subsumes : Cq.t -> Cq.t -> bool
+(** [subsumes q q']: same contract as {!Nca_logic.Cq.subsumes} — [q]
+    subsumes [q'] when a homomorphism from [q]'s body to [q']'s body maps
+    [q]'s answer tuple to [q']'s — with the hom search routed through the
+    compiled executor. *)

@@ -261,17 +261,25 @@ let test_span_nesting () =
 let test_stats_json_golden () =
   let json =
     with_telemetry @@ fun () ->
+    (* drop memoized plans so the cache counters don't depend on what the
+       other tests compiled before this one ran *)
+    Nca_plan.Cache.clear ();
     ignore (Datalog.closure (Parser.instance "E(a,b)") tc_rules);
     Nca_analysis.Obs_report.of_snapshot
       (Telemetry.scrub_times (Telemetry.snapshot ()))
   in
   check_str "stats json shape"
-    "{\"schema\":\"nocliques/stats/v2\",\
-     \"counters\":{\"datalog.atoms\":0,\"datalog.rounds\":1},\
+    "{\"schema\":\"nocliques/stats/v3\",\
+     \"counters\":{\"datalog.atoms\":0,\"datalog.rounds\":1,\
+     \"plan.cache.hit\":1,\"plan.cache.miss\":1,\"plan.exec\":2,\
+     \"plan.intersections\":0,\"plan.matches\":0,\"plan.probes\":1},\
+     \"plan\":{\"enabled\":true,\"plans\":1,\"cache_hits\":1,\
+     \"cache_misses\":1},\
      \"provenance\":{\"facts\":0,\"store_bytes\":0,\"max_depth\":0},\
      \"spans\":[{\"name\":\"datalog.saturate\",\"calls\":1,\"time_us\":0,\
      \"children\":[{\"name\":\"datalog.round\",\"calls\":1,\"time_us\":0,\
-     \"children\":[]}]}]}"
+     \"children\":[{\"name\":\"plan.compile\",\"calls\":1,\"time_us\":0,\
+     \"children\":[]}]}]}]}"
     (Nca_analysis.Json.to_string json);
   match Nca_analysis.Json.parse (Nca_analysis.Json.to_string json) with
   | Ok _ -> ()
