@@ -35,6 +35,7 @@ module Proof = Nca_provenance.Proof
 module Certificate = Nca_core.Certificate
 module Proof_report = Nca_analysis.Proof_report
 module Termination = Nca_analysis.Termination
+module Pool = Nca_chase.Pool
 
 (* Exit codes: 0 ok, 1 analysis/stage failure, 2 usage error (Cmdliner),
    3 budget exhausted before a verdict. *)
@@ -106,6 +107,7 @@ type obs = {
   timeout : float option;
   provenance : bool;
   no_planner : bool;
+  jobs : int;
 }
 
 let obs_term =
@@ -123,7 +125,7 @@ let obs_term =
       & info [ "stats-json" ]
           ~doc:
             "Print the telemetry snapshot as one line of JSON (schema \
-             nocliques/stats/v3) to stdout after the run.")
+             nocliques/stats/v4) to stdout after the run.")
   in
   let timeout_arg =
     Arg.(
@@ -154,11 +156,26 @@ let obs_term =
              the compiled join plans (A/B debugging; same as setting \
              NOCLIQUES_NO_PLANNER). Output is identical either way.")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~env:(Cmd.Env.info "NOCLIQUES_JOBS")
+          ~doc:
+            "Run the chase and Datalog engines on $(docv) domains (OCaml \
+             multicore). Chase output is byte-identical at any $(docv); \
+             Datalog closures are the same set. $(b,--jobs 1) (the \
+             default) is the plain sequential engine.")
+  in
   Cterm.(
-    const (fun trace stats_json timeout provenance no_planner ->
-        { trace; stats_json; timeout; provenance; no_planner })
+    const (fun trace stats_json timeout provenance no_planner jobs ->
+        if jobs < 1 then begin
+          Fmt.epr "nocliques: --jobs must be >= 1 (got %d)@." jobs;
+          Stdlib.exit 2
+        end;
+        { trace; stats_json; timeout; provenance; no_planner; jobs })
     $ trace_arg $ stats_json_arg $ timeout_arg $ provenance_arg
-    $ no_planner_arg)
+    $ no_planner_arg $ jobs_arg)
 
 let budget_of obs =
   match obs.timeout with
@@ -167,14 +184,21 @@ let budget_of obs =
 
 (* Run a subcommand body with telemetry enabled when requested; the trace
    goes to stderr (diagnostics channel), the JSON snapshot to stdout
-   (machine channel), whatever status the body returns. *)
+   (machine channel), whatever status the body returns. The body receives
+   the worker pool of a [--jobs N] run ([None] at jobs 1) and threads it
+   to the engines it chooses to parallelize; the pool is shut down — and
+   its accounting captured for the stats payload — before any report is
+   printed, also on exceptions. *)
 let with_obs obs f =
   let recording = obs.trace || obs.stats_json in
   if obs.no_planner then Nca_plan.Exec.set_enabled false;
   if recording then Telemetry.enable ();
   if obs.provenance then Provenance.enable ();
+  let pool = if obs.jobs > 1 then Some (Pool.create ~jobs:obs.jobs) else None in
   Fun.protect
     ~finally:(fun () ->
+      let parallel = Option.map Pool.stats pool in
+      Option.iter Pool.shutdown pool;
       (* snapshot while the provenance store is still live: the stats-json
          provenance object reads the ambient store *)
       if recording then begin
@@ -183,10 +207,11 @@ let with_obs obs f =
         if obs.trace then Fmt.epr "%a@." Telemetry.pp_snapshot snap;
         if obs.stats_json then
           Fmt.pr "%s@."
-            (Json.to_string (Nca_analysis.Obs_report.of_snapshot snap))
+            (Json.to_string
+               (Nca_analysis.Obs_report.of_snapshot ?parallel snap))
       end;
       if obs.provenance then Provenance.disable ())
-    f
+    (fun () -> f pool)
 
 (* A wall-clock or cancellation stop is a failure to reach a verdict and
    gets the dedicated exit status; structural stops (depth/atoms/rounds…)
@@ -369,9 +394,9 @@ let chase_cmd =
   let run file depth max_atoms print_instance explain explain_nulls proofs
       obs =
     let prog = load file in
-    with_proofs obs proofs ~extra:explain @@ fun () ->
+    with_proofs obs proofs ~extra:explain @@ fun pool ->
     let c =
-      Chase.run ~max_depth:depth ~max_atoms ~budget:(budget_of obs)
+      Chase.run ~max_depth:depth ~max_atoms ~budget:(budget_of obs) ?pool
         prog.facts prog.rules
     in
     Fmt.pr "chase: %a@." Chase.pp_stats c;
@@ -448,9 +473,9 @@ let explain_cmd =
         Fmt.epr "cannot parse FACT %S: %s@." fact_src reason;
         exit 2
     | Ok fact ->
-        with_proofs obs proofs ~extra:true @@ fun () ->
+        with_proofs obs proofs ~extra:true @@ fun pool ->
         let c =
-          Chase.run ~max_depth:depth ~max_atoms ~budget:(budget_of obs)
+          Chase.run ~max_depth:depth ~max_atoms ~budget:(budget_of obs) ?pool
             prog.facts prog.rules
         in
         if not (Instance.mem fact c.Chase.instance) then begin
@@ -505,7 +530,7 @@ let rewrite_cmd =
           Fmt.epr "no query in %s and none given with --query@." file;
           exit 1
     in
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     let out =
       Rewrite.rewrite ~max_rounds:rounds ~budget:(budget_of obs) prog.rules q
     in
@@ -531,7 +556,7 @@ let rewrite_cmd =
 let properties_cmd =
   let run file rounds obs =
     let prog = load file in
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     Fmt.pr "%a@." Properties.pp_report (Properties.describe prog.rules);
     let verdicts =
       Bdd.for_signature ~max_rounds:rounds ~budget:(budget_of obs) prog.rules
@@ -648,7 +673,7 @@ let lint_cmd =
 let surgery_cmd =
   let run file verify print_rules max_rounds obs =
     let prog = load file in
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     guarded @@ fun () ->
     let p =
       Pipeline.regalize ?max_rounds ~budget:(budget_of obs) prog.facts
@@ -704,13 +729,13 @@ let analyze_cmd =
   let run file depth edge proofs obs =
     let prog = load file in
     let e = Symbol.make edge 2 in
-    with_proofs obs proofs @@ fun () ->
+    with_proofs obs proofs @@ fun pool ->
     guarded @@ fun () ->
     let budget = budget_of obs in
     let p = Pipeline.regalize ~budget prog.facts prog.rules in
     Fmt.pr "regalized: %d rules, complete=%b@." (List.length p.final)
       p.complete;
-    let t = Witness.analyze ~depth ~budget ~e p.final in
+    let t = Witness.analyze ~depth ~budget ?pool ~e p.final in
     Fmt.pr "Ch(R∃): %a@." Chase.pp_stats t.chase_ex;
     (match t.closure_stopped with
     | None -> ()
@@ -766,10 +791,10 @@ let tournament_cmd =
   let run file depth max_atoms edge proofs obs =
     let prog = load file in
     let e = Symbol.make edge 2 in
-    with_proofs obs proofs @@ fun () ->
+    with_proofs obs proofs @@ fun pool ->
     let v, chase =
       Theorem1.validate_full ~max_depth:depth ~max_atoms
-        ~budget:(budget_of obs) ~e prog.facts prog.rules
+        ~budget:(budget_of obs) ?pool ~e prog.facts prog.rules
     in
     Fmt.pr "%a@." Theorem1.pp_verdict v;
     (if v.tournament <> [] then
@@ -855,13 +880,13 @@ let classes_cmd =
 let classify_cmd =
   let run file json depth max_atoms obs =
     let prog = load file in
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun pool ->
     let budget =
       Budget.intersect
         (Budget.v ~max_depth:depth ~max_atoms ())
         (budget_of obs)
     in
-    let t = Termination.classify ~budget prog.rules in
+    let t = Termination.classify ~budget ?pool prog.rules in
     (* referee discipline: re-verify the certificate or witness
        independently before emitting anything — a rejected certificate
        is an analysis failure, not a verdict *)
@@ -918,7 +943,7 @@ let finite_cmd =
     let prog = load file in
     let e = Symbol.make edge 2 in
     let forbid = if forbid_loop then Some (Cq.loop_query e) else None in
-    with_obs obs @@ fun () ->
+    with_obs obs @@ fun _pool ->
     match
       Nca_chase.Finite_model.search ~fresh ?forbid ~budget:(budget_of obs)
         prog.facts prog.rules
@@ -1044,13 +1069,33 @@ let intern_stats_cmd =
        bytes) — %d saved by sharing@."
       occurrence_bytes (Hashtbl.length seen) distinct_bytes
       (occurrence_bytes - distinct_bytes);
+    (* the domain-safe substrate, laid bare: the name store's append-only
+       segment arenas and the atom hash-cons shards *)
+    Fmt.pr "  name segments (capacity, entries, live bytes):@.";
+    List.iteri
+      (fun k (capacity, entries, bytes) ->
+        if entries > 0 then
+          Fmt.pr "    seg %2d  %8d cap  %8d live  %8d bytes@." k capacity
+            entries bytes)
+      (Names.segment_stats ());
+    let shards = Atom.shard_stats () in
+    let max_depth =
+      List.fold_left (fun m (_, d) -> max m d) 0 shards
+    in
+    Fmt.pr "  atom shards %d, max collision depth %d:@." (List.length shards)
+      max_depth;
+    List.iteri
+      (fun i (entries, depth) ->
+        Fmt.pr "    shard %2d  %6d entries  depth %d@." i entries depth)
+      shards;
     0
   in
   Cmd.v
     (Cmd.info "intern-stats"
        ~doc:
          "Load a program and report intern-table statistics (name, symbol \
-          and atom counts, max ids, bytes saved by sharing).")
+          and atom counts, max ids, bytes saved by sharing; per-segment \
+          arena and per-shard hash-cons breakdown).")
     Cterm.(const run $ file_arg)
 
 let plan_cmd =

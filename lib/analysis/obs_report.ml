@@ -1,4 +1,4 @@
-let schema = "nocliques/stats/v3"
+let schema = "nocliques/stats/v4"
 
 let rec span_json (s : Nca_obs.Telemetry.span_stats) =
   Json.Obj
@@ -28,13 +28,41 @@ let plan_json () =
       ("cache_misses", Json.Int misses);
     ]
 
-let of_snapshot (snap : Nca_obs.Telemetry.snapshot) =
+(* Always present so consumers need no probe: a sequential run reports
+   the one implicit domain with no batches. *)
+let parallel_json = function
+  | None ->
+      Json.Obj
+        [
+          ("jobs", Json.Int 1);
+          ("batches", Json.Int 0);
+          ("domains", Json.List []);
+        ]
+  | Some (s : Nca_chase.Pool.stats) ->
+      Json.Obj
+        [
+          ("jobs", Json.Int s.jobs);
+          ("batches", Json.Int s.batches);
+          ( "domains",
+            Json.List
+              (List.map
+                 (fun (tasks, busy_us) ->
+                   Json.Obj
+                     [
+                       ("tasks", Json.Int tasks);
+                       ("busy_us", Json.Int busy_us);
+                     ])
+                 s.per_domain) );
+        ]
+
+let of_snapshot ?parallel (snap : Nca_obs.Telemetry.snapshot) =
   Json.Obj
     [
       ("schema", Json.String schema);
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters) );
       ("plan", plan_json ());
+      ("parallel", parallel_json parallel);
       ("provenance", provenance_json ());
       ("spans", Json.List (List.map span_json snap.spans));
     ]

@@ -2,26 +2,34 @@
 
     Bridges [Nca_obs.Telemetry] to the toolkit's JSON document type —
     the payload behind [nocliques --stats-json]. The shape is versioned
-    ([nocliques/stats/v2]) and covered by a golden test, so consumers
+    ([nocliques/stats/v4]) and covered by a golden test, so consumers
     can rely on it:
 
     {v
-    { "schema": "nocliques/stats/v2",
+    { "schema": "nocliques/stats/v4",
       "counters": { "chase.rounds": 3, ... },
+      "plan": { "enabled": true, "plans": 4, ... },
+      "parallel": { "jobs": 1, "batches": 0, "domains": [] },
       "provenance": { "facts": 0, "store_bytes": 0, "max_depth": 0 },
       "spans": [ { "name": "chase", "calls": 1, "time_us": 42,
                    "children": [...] }, ... ] }
     v}
 
-    [v2] adds the [provenance] object — the ambient
+    [v2] added the [provenance] object — the ambient
     {!Nca_provenance.Provenance} store's counters (all zero when
-    recording is off). [store_bytes] is the store's deterministic
-    structural size estimate, not a heap measurement. *)
+    recording is off); [store_bytes] is the store's deterministic
+    structural size estimate, not a heap measurement. [v3] added the
+    [plan] object. [v4] adds the [parallel] object: the worker-pool
+    accounting of a [--jobs N] run — crew size, batches executed, and
+    per-domain (tasks, busy_us) — or the deterministic
+    [{jobs: 1, batches: 0, domains: []}] when the run was sequential. *)
 
 val schema : string
-(** ["nocliques/stats/v2"]. *)
+(** ["nocliques/stats/v4"]. *)
 
-val of_snapshot : Nca_obs.Telemetry.snapshot -> Json.t
+val of_snapshot :
+  ?parallel:Nca_chase.Pool.stats -> Nca_obs.Telemetry.snapshot -> Json.t
 (** Counters as one object (sorted by name, as in the snapshot), the
-    provenance counters read off the ambient store, spans as a recursive
-    array in first-seen order. *)
+    plan-cache and provenance counters read off the ambient stores, the
+    pool accounting when a pool ran, spans as a recursive array in
+    first-seen order. *)

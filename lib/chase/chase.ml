@@ -38,7 +38,7 @@ module Keytbl = Hashtbl.Make (Trigger.Key)
    when their last atom appeared. The first round runs with
    [delta = start], i.e. every trigger over the input. *)
 let run ?(variant = Oblivious) ?max_depth ?max_atoms
-    ?(budget = Nca_obs.Budget.unlimited) start rules =
+    ?(budget = Nca_obs.Budget.unlimited) ?pool start rules =
   (* one governor for every bound: the legacy [max_depth]/[max_atoms]
      arguments and the caller's budget intersect to the tighter value *)
   let budget =
@@ -47,6 +47,15 @@ let run ?(variant = Oblivious) ?max_depth ?max_atoms
          ~max_depth:(Option.value ~default:8 max_depth)
          ~max_atoms:(Option.value ~default:20000 max_atoms)
          ())
+  in
+  (* parallel runs share the budget across domains through a gate:
+     deadline/cancellation can then abort a round mid-enumeration from
+     any worker; the partial round is discarded (before it touches
+     [fired]), so the reported prefix is a valid round boundary *)
+  let gate =
+    match pool with
+    | Some _ -> Some (Nca_obs.Budget.Gate.make budget)
+    | None -> None
   in
   let fired = Keytbl.create 256 in
   let rec go current delta levels_rev level stamps prov =
@@ -61,6 +70,10 @@ let run ?(variant = Oblivious) ?max_depth ?max_atoms
     | None -> (
         let round =
           Nca_obs.Telemetry.span "chase.round" @@ fun () ->
+          let raw = Trigger.all_delta ?pool ?gate rules ~total:current ~delta in
+          match Option.bind gate Nca_obs.Budget.Gate.tripped with
+          | Some err -> `Stopped err
+          | None ->
           let triggers =
             List.filter
               (fun tr ->
@@ -79,9 +92,9 @@ let run ?(variant = Oblivious) ?max_depth ?max_atoms
                   Keytbl.add fired k ();
                   true
                 end)
-              (Trigger.all_delta rules ~total:current ~delta)
+              raw
           in
-          if triggers = [] then None
+          if triggers = [] then `Saturated
           else begin
             (* the next delta is accumulated from the trigger outputs, so a
                round costs O(new atoms), not a sweep of the whole instance *)
@@ -139,14 +152,17 @@ let run ?(variant = Oblivious) ?max_depth ?max_atoms
               Nca_obs.Telemetry.count "chase.triggers" (List.length triggers);
               Nca_obs.Telemetry.count "chase.atoms" (Instance.cardinal delta')
             end;
-            Some (next, delta', stamps, prov)
+            `Round (next, delta', stamps, prov)
           end
         in
         match round with
-        | None ->
+        | `Stopped err ->
+            finish current levels_rev stamps prov ~saturated:false
+              ~stopped:(Some err)
+        | `Saturated ->
             finish current levels_rev stamps prov ~saturated:true
               ~stopped:None
-        | Some (next, delta', stamps, prov) -> (
+        | `Round (next, delta', stamps, prov) -> (
             match
               Nca_obs.Budget.atoms budget ~used:(Instance.cardinal next)
             with

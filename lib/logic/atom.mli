@@ -28,6 +28,11 @@ val id : t -> int
 val count : unit -> int
 (** Number of distinct atoms hash-consed so far. *)
 
+val shard_stats : unit -> (int * int) list
+(** Per-shard [(entries, max_bucket_depth)] of the sharded hash-cons
+    table (construction is sharded by hash for domain safety), behind
+    [nocliques debug intern-stats]. *)
+
 val terms : t -> Term.Set.t
 val vars : t -> Term.Set.t
 (** Mappable terms (variables and nulls) occurring in the atom. *)

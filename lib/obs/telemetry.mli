@@ -7,22 +7,30 @@
     body-rewriting stage of the pipeline shows up under that stage in
     the tree.
 
-    Recording is off by default and gated on one global slot: when
-    disabled, every entry point is a single [ref] read and an immediate
-    return — engine output and hot-path timings are unchanged (asserted
-    by the golden byte-identity tests and the bench regression bound).
+    Recording is off by default and gated on one slot: when disabled,
+    every entry point is a single slot read and an immediate return —
+    engine output and hot-path timings are unchanged (asserted by the
+    golden byte-identity tests and the bench regression bound).
     Instrumentation sits at round/stage granularity, never per-atom.
 
-    The API is deliberately global rather than threaded: budgets (which
-    change results) travel explicitly as {!Budget.t} values, telemetry
-    (which must not) stays ambient. *)
+    The API is deliberately ambient rather than threaded: budgets
+    (which change results) travel explicitly as {!Budget.t} values,
+    telemetry (which must not) stays ambient. The slot is {b
+    domain-local} ([Domain.DLS]): each domain records into its own
+    store, so worker domains never race the coordinator's span tree.
+    Parallel engines enable a store on each worker, {!snapshot} it at
+    the barrier, and fold the frozen snapshots into the coordinator's
+    store with {!absorb}. *)
 
 val enabled : unit -> bool
+(** Whether the calling domain is recording. *)
+
 val enable : unit -> unit
-(** Install a fresh, empty store and start recording. *)
+(** Install a fresh, empty store on the calling domain and start
+    recording there. Other domains are unaffected. *)
 
 val disable : unit -> unit
-(** Stop recording and drop the store. *)
+(** Stop recording on the calling domain and drop its store. *)
 
 val count : string -> int -> unit
 (** [count name n] adds [n] to counter [name]. No-op when disabled. *)
@@ -50,7 +58,13 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
-(** Freeze the current store (empty snapshot when disabled). *)
+(** Freeze the calling domain's store (empty snapshot when disabled). *)
+
+val absorb : snapshot -> unit
+(** Fold a frozen snapshot (typically from a worker domain) into the
+    calling domain's live store: counters add up, span trees graft
+    under the innermost open span, matching spans by name so repeated
+    absorbs accumulate. No-op when disabled. *)
 
 val scrub_times : snapshot -> snapshot
 (** Zero every [time_us] — deterministic snapshots for golden tests. *)

@@ -269,12 +269,13 @@ let test_stats_json_golden () =
       (Telemetry.scrub_times (Telemetry.snapshot ()))
   in
   check_str "stats json shape"
-    "{\"schema\":\"nocliques/stats/v3\",\
+    "{\"schema\":\"nocliques/stats/v4\",\
      \"counters\":{\"datalog.atoms\":0,\"datalog.rounds\":1,\
      \"plan.cache.hit\":1,\"plan.cache.miss\":1,\"plan.exec\":2,\
      \"plan.intersections\":0,\"plan.matches\":0,\"plan.probes\":1},\
      \"plan\":{\"enabled\":true,\"plans\":1,\"cache_hits\":1,\
      \"cache_misses\":1},\
+     \"parallel\":{\"jobs\":1,\"batches\":0,\"domains\":[]},\
      \"provenance\":{\"facts\":0,\"store_bytes\":0,\"max_depth\":0},\
      \"spans\":[{\"name\":\"datalog.saturate\",\"calls\":1,\"time_us\":0,\
      \"children\":[{\"name\":\"datalog.round\",\"calls\":1,\"time_us\":0,\
