@@ -650,6 +650,65 @@ let par_datalog_workload ~reps (name, instance, rules_src, smoke_scale) ~smoke =
       ("speedup4_x100", Json.Int (speedup_x100 ~before:us1 ~after:us4));
     ]
 
+(* Finite-model rows: the same bounded search run once on the
+   depth-first completion engine (before) and once on the SAT-backed
+   grounding (after), under one shared step budget. Two definitive
+   verdicts must agree — an exhausted side contradicts nothing, and a
+   [dfs_verdict = "exhausted"] next to a definitive [sat_verdict] is
+   the row's point: the SAT engine settles fresh-element budgets the
+   DFS cannot finish. Every SAT model is re-run through the
+   independent checker before the row is accepted. *)
+module Finite_model = Nca_chase.Finite_model
+
+let fm_verdict_name = function
+  | Finite_model.Model _ -> "model"
+  | Finite_model.No_model -> "no_model"
+  | Finite_model.Exhausted _ -> "exhausted"
+
+let fm_workload ~reps (name, fresh, max_steps) =
+  let entry = Rulesets.find name in
+  let forbid = Some (Cq.loop_query entry.e) in
+  let run engine () =
+    Finite_model.search ~engine ~fresh ~max_steps ?forbid entry.instance
+      entry.rules
+  in
+  Gc.compact ();
+  let d, before_us = time_us ~reps (run Finite_model.Dfs) in
+  Gc.compact ();
+  let s, after_us = time_us ~reps (run Finite_model.Sat) in
+  let workload = Fmt.str "fm/%s@fresh%d" name fresh in
+  (match (d, s) with
+  | Finite_model.Model _, Finite_model.No_model
+  | Finite_model.No_model, Finite_model.Model _ ->
+      Fmt.epr "MISMATCH %s: dfs %s vs sat %s@." workload (fm_verdict_name d)
+        (fm_verdict_name s);
+      incr failures
+  | _ -> ());
+  (match s with
+  | Finite_model.Model m -> (
+      match
+        Nca_chase.Fm_check.check ?forbid ~start:entry.instance
+          ~rules:entry.rules m
+      with
+      | Ok () -> ()
+      | Error e ->
+          Fmt.epr "MISMATCH %s: sat model rejected by the checker: %s@."
+            workload e;
+          incr failures)
+  | _ -> ());
+  Json.Obj
+    [
+      ("kind", Json.String "fm");
+      ("name", Json.String (Fmt.str "%s@fresh%d" name fresh));
+      ("fresh", Json.Int fresh);
+      ("max_steps", Json.Int max_steps);
+      ("dfs_verdict", Json.String (fm_verdict_name d));
+      ("sat_verdict", Json.String (fm_verdict_name s));
+      ("before_us", Json.Int before_us);
+      ("after_us", Json.Int after_us);
+      ("speedup_x100", Json.Int (speedup_x100 ~before:before_us ~after:after_us));
+    ]
+
 (* Rewriting rides on the same Hom hot path; no separate naive engine is
    preserved for it, so these entries record the trajectory only. *)
 let rewrite_workload ~reps ~max_rounds name =
@@ -772,6 +831,23 @@ let run_all ~smoke ~only =
     |> List.filter (fun (n, _, _) -> sel ("hom/" ^ n))
     |> List.map (fun w -> hom_workload ~reps w)
   in
+  let fm_rows =
+    (* one step budget for both engines per row; reps = 1 because the
+       interesting rows run the DFS side to its budget *)
+    (if smoke then
+       [ ("example1", 2, 50_000); ("succ_only", 2, 50_000) ]
+     else
+       [
+         ("example1", 2, 500_000);
+         ("example1", 4, 500_000);
+         ("example1", 8, 500_000);
+         ("succ_only", 2, 500_000);
+         ("succ_only", 4, 500_000);
+         ("succ_only", 8, 500_000);
+       ])
+    |> List.filter (fun (n, f, _) -> sel (Fmt.str "fm/%s@fresh%d" n f))
+    |> List.map (fun w -> fm_workload ~reps:1 w)
+  in
   let rewrite_rows =
     [ "example1_bdd"; "symmetric"; "sticky"; "ucq_defined" ]
     |> List.filter (fun n -> sel ("rewrite/" ^ n))
@@ -854,6 +930,11 @@ let run_all ~smoke ~only =
            comparators on the same data. provenance rows: before = \
            chase with fact-level recording on, after = recording off, \
            so speedup_x100 is the recording overhead (100 = free). \
+           fm rows: before = depth-first finite-model completion, after \
+           = MACE-style SAT grounding, both under the same step budget \
+           and forbidding an E-loop; an exhausted dfs_verdict next to a \
+           definitive sat_verdict means the SAT engine settled a budget \
+           the DFS could not finish. \
            plan rows: before = interpreted fewest-candidates-first Hom \
            search (planner disabled), after = compiled join plans with \
            leapfrog intersection, on otherwise identical engines; \
@@ -865,7 +946,7 @@ let run_all ~smoke ~only =
            scaling. speedup_x100 = 100 * before/after." );
       ( "workloads",
         Json.List
-          (chase_rows @ datalog_rows @ hom_rows @ rewrite_rows
+          (chase_rows @ datalog_rows @ hom_rows @ fm_rows @ rewrite_rows
           @ classify_rows @ provenance_rows @ intern_rows @ plan_chase_rows
           @ plan_hom_rows @ plan_datalog_rows @ par_chase_rows
           @ par_datalog_rows) );

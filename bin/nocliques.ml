@@ -125,7 +125,7 @@ let obs_term =
       & info [ "stats-json" ]
           ~doc:
             "Print the telemetry snapshot as one line of JSON (schema \
-             nocliques/stats/v4) to stdout after the run.")
+             nocliques/stats/v5) to stdout after the run.")
   in
   let timeout_arg =
     Arg.(
@@ -938,25 +938,73 @@ let classify_cmd =
 
 (* finite *)
 
+let witness_doc ~engine ~fresh ~forbid m =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String "nocliques/fm-witness/v1");
+         ( "engine",
+           Json.String
+             (match engine with
+             | Nca_chase.Finite_model.Dfs -> "dfs"
+             | Nca_chase.Finite_model.Sat -> "sat") );
+         ("fresh", Json.Int fresh);
+         ( "forbid",
+           match forbid with
+           | None -> Json.Null
+           | Some q -> Json.String (Fmt.str "%a" Cq.pp q) );
+         ("checked", Json.Bool true);
+         ( "domain",
+           Json.List
+             (List.map
+                (fun t -> Json.String (Term.name t))
+                (Term.sorted_elements (Instance.adom m))) );
+         ( "atoms",
+           Json.List
+             (List.map
+                (fun a -> Json.String (Fmt.str "%a" Atom.pp a))
+                (Instance.sorted_atoms m)) );
+       ])
+
 let finite_cmd =
-  let run file fresh edge forbid_loop obs =
+  let run file fresh edge forbid_loop engine witness obs =
     let prog = load file in
     let e = Symbol.make edge 2 in
     let forbid = if forbid_loop then Some (Cq.loop_query e) else None in
     with_obs obs @@ fun _pool ->
     match
-      Nca_chase.Finite_model.search ~fresh ?forbid ~budget:(budget_of obs)
-        prog.facts prog.rules
+      Nca_chase.Finite_model.search ~engine ~fresh ?forbid
+        ~budget:(budget_of obs) prog.facts prog.rules
     with
-    | Model m ->
-        Fmt.pr "finite model (%d atoms): %a@." (Instance.cardinal m)
-          Instance.pp m;
-        Fmt.pr "Loop_%s holds in it: %b@." edge
-          (Cq.holds m (Cq.loop_query e));
-        0
+    | Model m -> (
+        (* every emitted model goes through the independent checker
+           first: a witness the replay rejects is an engine bug, not a
+           result *)
+        match
+          Nca_chase.Fm_check.check ?forbid ~start:prog.facts
+            ~rules:prog.rules m
+        with
+        | Error reason ->
+            Fmt.epr
+              "nocliques: model witness rejected by the independent \
+               checker: %s@."
+              reason;
+            1
+        | Ok () ->
+            Fmt.pr "finite model (%d atoms): %a@." (Instance.cardinal m)
+              Instance.pp m;
+            Fmt.pr "Loop_%s holds in it: %b@." edge
+              (Cq.holds m (Cq.loop_query e));
+            Option.iter
+              (fun path ->
+                write_out path (witness_doc ~engine ~fresh ~forbid m ^ "\n"))
+              witness;
+            0)
     | No_model ->
+        (* a completed search: a definitive negative, not an exhaustion *)
         Fmt.pr
-          "no such finite model with %d extra elements (search exhausted)@."
+          "no such finite model with %d extra elements — the bounded \
+           search space holds none@."
           fresh;
         0
     | Exhausted ex ->
@@ -978,10 +1026,43 @@ let finite_cmd =
           ~doc:"Only accept models without an E-loop — refuting this shows \
                 every finite model has one.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("dfs", Nca_chase.Finite_model.Dfs);
+               ("sat", Nca_chase.Finite_model.Sat);
+             ])
+          Nca_chase.Finite_model.Dfs
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Search engine: $(b,dfs) (depth-first completion, the \
+             differential oracle) or $(b,sat) (MACE-style grounding into \
+             the built-in incremental SAT backend, with iterative \
+             deepening over the fresh elements and symmetry breaking — \
+             scales to much larger domains, and its negatives are \
+             definitive UNSAT verdicts). Both observe the same budget; \
+             every model from either engine is re-verified independently \
+             before printing.")
+  in
+  let witness_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the found model as a checkable witness (schema \
+             nocliques/fm-witness/v1) to $(docv) ($(b,-) for stdout), \
+             after the independent checker has re-verified it.")
+  in
   Cmd.v
     (Cmd.info "finite"
        ~doc:"Search for a finite model (the finite side of fc).")
-    Cterm.(const run $ file_arg $ fresh_arg $ edge_arg $ forbid_arg $ obs_term)
+    Cterm.(
+      const run $ file_arg $ fresh_arg $ edge_arg $ forbid_arg $ engine_arg
+      $ witness_arg $ obs_term)
 
 (* zoo *)
 

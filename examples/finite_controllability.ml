@@ -40,8 +40,8 @@ let side_by_side (entry : Rulesets.entry) =
           Fmt.pr "  finite, +%d elements: loop-free model EXISTS@." fresh
       | Finite_model.Absent ->
           Fmt.pr
-            "  finite, +%d elements: every model has a loop (search \
-             exhausted)@."
+            "  finite, +%d elements: every model has a loop (search space \
+             covered)@."
             fresh
       | Finite_model.Unknown _ ->
           Fmt.pr "  finite, +%d elements: budget exhausted@." fresh)

@@ -1,4 +1,4 @@
-let schema = "nocliques/stats/v4"
+let schema = "nocliques/stats/v5"
 
 let rec span_json (s : Nca_obs.Telemetry.span_stats) =
   Json.Obj
@@ -26,6 +26,19 @@ let plan_json () =
       ("plans", Json.Int plans);
       ("cache_hits", Json.Int hits);
       ("cache_misses", Json.Int misses);
+    ]
+
+let sat_json () =
+  let s = Nca_sat.Stats.snapshot () in
+  Json.Obj
+    [
+      ("solves", Json.Int s.Nca_sat.Stats.solves);
+      ("vars", Json.Int s.Nca_sat.Stats.vars);
+      ("clauses", Json.Int s.Nca_sat.Stats.clauses);
+      ("learnt", Json.Int s.Nca_sat.Stats.learnt);
+      ("decisions", Json.Int s.Nca_sat.Stats.decisions);
+      ("conflicts", Json.Int s.Nca_sat.Stats.conflicts);
+      ("propagations", Json.Int s.Nca_sat.Stats.propagations);
     ]
 
 (* Always present so consumers need no probe: a sequential run reports
@@ -62,6 +75,7 @@ let of_snapshot ?parallel (snap : Nca_obs.Telemetry.snapshot) =
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters) );
       ("plan", plan_json ());
+      ("sat", sat_json ());
       ("parallel", parallel_json parallel);
       ("provenance", provenance_json ());
       ("spans", Json.List (List.map span_json snap.spans));

@@ -2,13 +2,14 @@
 
     Bridges [Nca_obs.Telemetry] to the toolkit's JSON document type —
     the payload behind [nocliques --stats-json]. The shape is versioned
-    ([nocliques/stats/v4]) and covered by a golden test, so consumers
+    ([nocliques/stats/v5]) and covered by a golden test, so consumers
     can rely on it:
 
     {v
-    { "schema": "nocliques/stats/v4",
+    { "schema": "nocliques/stats/v5",
       "counters": { "chase.rounds": 3, ... },
       "plan": { "enabled": true, "plans": 4, ... },
+      "sat": { "solves": 0, "vars": 0, ... },
       "parallel": { "jobs": 1, "batches": 0, "domains": [] },
       "provenance": { "facts": 0, "store_bytes": 0, "max_depth": 0 },
       "spans": [ { "name": "chase", "calls": 1, "time_us": 42,
@@ -19,13 +20,16 @@
     {!Nca_provenance.Provenance} store's counters (all zero when
     recording is off); [store_bytes] is the store's deterministic
     structural size estimate, not a heap measurement. [v3] added the
-    [plan] object. [v4] adds the [parallel] object: the worker-pool
+    [plan] object. [v4] added the [parallel] object: the worker-pool
     accounting of a [--jobs N] run — crew size, batches executed, and
     per-domain (tasks, busy_us) — or the deterministic
-    [{jobs: 1, batches: 0, domains: []}] when the run was sequential. *)
+    [{jobs: 1, batches: 0, domains: []}] when the run was sequential.
+    [v5] adds the [sat] object: the {!Nca_sat.Stats} process-wide
+    solver totals of the SAT-backed finite-model engine (all zero when
+    the engine did not run). *)
 
 val schema : string
-(** ["nocliques/stats/v4"]. *)
+(** ["nocliques/stats/v5"]. *)
 
 val of_snapshot :
   ?parallel:Nca_chase.Pool.stats -> Nca_obs.Telemetry.snapshot -> Json.t

@@ -25,11 +25,24 @@ val violations : Instance.t -> Rule.t list -> Trigger.t list
 
 type outcome =
   | Model of Instance.t
-  | No_model  (** search space exhausted: no such model within the budget *)
+  | No_model
+      (** search space covered completely: the bounded domain holds no
+          such model — a definitive negative, not an exhaustion *)
   | Exhausted of Nca_obs.Exhausted.t
       (** a resource ran out before a verdict — which one, and where *)
 
+type engine =
+  | Dfs
+      (** the hand-rolled depth-first completion — the differential
+          oracle *)
+  | Sat
+      (** MACE-style grounding into the {!Nca_sat} solver seam, with
+          iterative deepening over the number of fresh elements and
+          symmetry breaking between them; every model is re-verified
+          independently of the solver before being returned *)
+
 val search :
+  ?engine:engine ->
   ?fresh:int ->
   ?max_steps:int ->
   ?forbid:Cq.t ->
@@ -39,9 +52,16 @@ val search :
   outcome
 (** [search ~fresh ~forbid i rules] looks for a finite model of [i] and
     [rules] over [adom i] plus [fresh] extra elements (default 2) that
-    does not satisfy [forbid]. [max_steps] (default 200000) bounds the
-    number of search nodes and intersects with [budget]; the step bound
-    is checked at every DFS node, deadline/cancellation every 256 nodes. *)
+    does not satisfy [forbid]. The fresh elements are genuinely fresh
+    names (never interned before), so they cannot collide with [adom i].
+
+    [max_steps] (default 200000) intersects with [budget] and bounds the
+    search steps — DFS candidates considered, or SAT solver decisions
+    summed across the deepening rounds. Both engines check the step
+    bound at every step and deadline/cancellation every 256 steps
+    ([engine] defaults to [Dfs]; both return the same verdicts on
+    constant-free rule sets, see DESIGN.md for the rule-constant
+    caveat). *)
 
 type verdict =
   | Exists  (** the bounded search found such a model *)
@@ -51,7 +71,8 @@ type verdict =
           exhausted search says nothing about the (bdd ⇒ fc) gap *)
 
 val loop_free_model_exists :
-  ?fresh:int -> ?max_steps:int -> ?budget:Nca_obs.Budget.t ->
+  ?engine:engine -> ?fresh:int -> ?max_steps:int ->
+  ?budget:Nca_obs.Budget.t ->
   e:Symbol.t -> Instance.t -> Rule.t list -> verdict
 (** Three-valued so budget exhaustion can never be read as a conclusive
     answer (the seed's [bool option] invited [<> Some true] checks that

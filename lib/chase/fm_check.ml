@@ -1,0 +1,18 @@
+open Nca_logic
+
+let check ?forbid ~start ~rules m =
+  if not (Instance.subset start m) then
+    Error "the claimed model does not contain every start atom"
+  else
+    match Finite_model.violations m rules with
+    | tr :: _ ->
+        Error
+          (Fmt.str "unsatisfied trigger: rule %s under %a"
+             (Rule.name tr.Trigger.rule) Subst.pp tr.Trigger.hom)
+    | [] -> (
+        match forbid with
+        | Some q when Cq.holds m q ->
+            Error
+              (Fmt.str "the claimed model satisfies the forbidden query %a"
+                 Cq.pp q)
+        | _ -> Ok ())

@@ -1,0 +1,22 @@
+(** Independent re-verification of finite-model witnesses.
+
+    A model emitted by any {!Finite_model.engine} — in particular one
+    decoded from a SAT assignment — is only as trustworthy as the
+    encoder and solver that produced it. This checker replays the
+    claim with the interpreted machinery only (trigger enumeration over
+    {!Nca_logic.Hom} and query satisfaction over {!Nca_logic.Cq}),
+    sharing no code with the grounding or the solver: the PR-5
+    certificate discipline applied to model witnesses. The CLI runs it
+    on every model before printing. *)
+
+open Nca_logic
+
+val check :
+  ?forbid:Cq.t ->
+  start:Instance.t ->
+  rules:Rule.t list ->
+  Instance.t ->
+  (unit, string) result
+(** [check ~start ~rules m] verifies that [m] contains [start], that
+    every trigger of [rules] over [m] is satisfied, and that [m] does
+    not satisfy [forbid]. [Error reason] pinpoints the first failure. *)

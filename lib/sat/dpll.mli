@@ -1,0 +1,16 @@
+(** The bundled pure-OCaml SAT backend.
+
+    DPLL with two watched literals and exhaustive unit propagation,
+    extended with conflict-driven clause learning (first-UIP),
+    chronological phase saving and geometric restarts — no external
+    dependencies. Branching is deterministic (lowest unassigned
+    variable, saved phase initialised to false), so the first model
+    found is the propagation-minimal one under the static order and CLI
+    output is byte-stable.
+
+    The budget's step bound counts decisions and is checked on every
+    decision; deadline/cancellation checkpoints are amortized over 256
+    decisions — the hot loop is never more than 256 decisions away from
+    a cancellation point. *)
+
+include Solver_intf.S

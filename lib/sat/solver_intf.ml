@@ -1,0 +1,82 @@
+(** The abstract incremental-solver seam of the MACE-style finite-model
+    finder.
+
+    [Fm_inst.Make] grounds a rule set into propositional clauses through
+    this interface; any backend that implements it — the bundled
+    pure-OCaml {!Dpll}, or an external solver binding — can sit on the
+    other side. Following the crossbow [Sat_inst.Make (Solver)] lineage,
+    the interface distinguishes the {e kinds} of clauses the encoder
+    emits (plain, symmetry-breaking, at-least-one, at-most-one), so a
+    backend with native cardinality or symmetry support can intercept
+    them; the default backend treats them all as ordinary clauses.
+
+    Literals use the MiniSat convention: variable [v] appears positively
+    as [2v] and negatively as [2v + 1], so negation is one [lxor] and
+    the variable is one shift. *)
+
+(** Literal encoding helpers. *)
+module Lit = struct
+  type t = int
+
+  let pos v = v lsl 1
+  let neg v = (v lsl 1) lor 1
+  let negate l = l lxor 1
+  let var l = l lsr 1
+  let is_pos l = l land 1 = 0
+  let pp ppf l = Fmt.pf ppf "%s%d" (if is_pos l then "" else "~") (var l)
+end
+
+type outcome =
+  | Sat  (** a satisfying assignment is available via [model_value] *)
+  | Unsat  (** definitively unsatisfiable — a proof-relevant negative *)
+  | Unknown of Nca_obs.Exhausted.t
+      (** the budget ran out inside the decision loop *)
+
+(** Cumulative counters over a solver's lifetime. *)
+type stats = {
+  vars : int;
+  clauses : int;  (** accepted input clauses, unit clauses included *)
+  learnt : int;  (** clauses learnt from conflicts *)
+  decisions : int;
+  conflicts : int;
+  propagations : int;  (** literals assigned by unit propagation *)
+}
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+
+  val new_var : t -> int
+  (** Allocate the next propositional variable (dense ids from 0). *)
+
+  val add_clause : t -> Lit.t list -> unit
+  (** Add a clause (a disjunction of literals). Tautologies are dropped;
+      the empty clause makes every subsequent [solve] return [Unsat].
+      Every literal must reference a variable already allocated with
+      {!new_var} ([Invalid_argument] otherwise). *)
+
+  val add_symmetry_clause : t -> Lit.t list -> unit
+  (** A symmetry-breaking clause — semantically ordinary, tagged so
+      backends with native symmetry handling can intercept it. *)
+
+  val add_at_least_one_clause : t -> Lit.t list -> unit
+  (** An at-least-one(-value) constraint, emitted for rule-satisfaction
+      disjunctions. *)
+
+  val add_at_most_one_clause : t -> Lit.t list -> unit
+  (** An at-most-one-style negative constraint, emitted for the [forbid]
+      query instantiations. *)
+
+  val solve : ?budget:Nca_obs.Budget.t -> t -> outcome
+  (** Decide the accumulated clause set. The budget's step bound counts
+      {e decisions} (checked on every decision); deadline/cancellation
+      are consulted every 256 decisions. Incremental: more variables and
+      clauses may be added after a [solve], and learnt unit facts are
+      kept across calls. *)
+
+  val model_value : t -> int -> bool
+  (** After [Sat]: the value assigned to a variable. *)
+
+  val stats : t -> stats
+end

@@ -264,17 +264,22 @@ let test_stats_json_golden () =
     (* drop memoized plans so the cache counters don't depend on what the
        other tests compiled before this one ran *)
     Nca_plan.Cache.clear ();
+    (* likewise the process-wide SAT totals: another test in this binary
+       may have run the finite-model engine *)
+    Nca_sat.Stats.reset ();
     ignore (Datalog.closure (Parser.instance "E(a,b)") tc_rules);
     Nca_analysis.Obs_report.of_snapshot
       (Telemetry.scrub_times (Telemetry.snapshot ()))
   in
   check_str "stats json shape"
-    "{\"schema\":\"nocliques/stats/v4\",\
+    "{\"schema\":\"nocliques/stats/v5\",\
      \"counters\":{\"datalog.atoms\":0,\"datalog.rounds\":1,\
      \"plan.cache.hit\":1,\"plan.cache.miss\":1,\"plan.exec\":2,\
      \"plan.intersections\":0,\"plan.matches\":0,\"plan.probes\":1},\
      \"plan\":{\"enabled\":true,\"plans\":1,\"cache_hits\":1,\
      \"cache_misses\":1},\
+     \"sat\":{\"solves\":0,\"vars\":0,\"clauses\":0,\"learnt\":0,\
+     \"decisions\":0,\"conflicts\":0,\"propagations\":0},\
      \"parallel\":{\"jobs\":1,\"batches\":0,\"domains\":[]},\
      \"provenance\":{\"facts\":0,\"store_bytes\":0,\"max_depth\":0},\
      \"spans\":[{\"name\":\"datalog.saturate\",\"calls\":1,\"time_us\":0,\
