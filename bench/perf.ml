@@ -469,6 +469,60 @@ let provenance_workload ~reps (name, full, smoke_b) ~smoke =
       ("speedup_x100", Json.Int (speedup_x100 ~before:on_us ~after:off_us));
     ]
 
+(* Observability overhead rows: the same chase run once with every
+   profiling layer recording (telemetry counters/spans + metrics
+   histograms/gauges + the event timeline ring) and once with all of
+   them off — the default configuration every other row measures.
+   speedup_x100 is the recording overhead (100 = free). The disabled
+   path's no-op contract is guarded the other way round: these rows'
+   after_us, like every chase row, feeds `nocliques debug bench-diff`
+   against the committed baseline, so an instrumentation check that
+   leaks cost into the disabled path shows up as a plain regression. *)
+let obs_workload ~reps (name, full, smoke_b) ~smoke =
+  let b = if smoke then smoke_b else full in
+  let entry = Rulesets.find name in
+  let run () =
+    Chase.run ~max_depth:b.depth ~max_atoms:b.atoms entry.instance entry.rules
+  in
+  Gc.compact ();
+  let off, off_us = time_us ~reps run in
+  Gc.compact ();
+  let (on, events, dropped), on_us =
+    time_us ~reps (fun () ->
+        Nca_obs.Telemetry.enable ();
+        Nca_obs.Metrics.enable ();
+        Nca_obs.Events.enable ();
+        Fun.protect
+          ~finally:(fun () ->
+            Nca_obs.Telemetry.disable ();
+            Nca_obs.Metrics.disable ();
+            Nca_obs.Events.disable ())
+          (fun () ->
+            let c = run () in
+            let snap = Nca_obs.Events.snapshot () in
+            ( c,
+              List.length snap.Nca_obs.Events.events,
+              snap.Nca_obs.Events.dropped )))
+  in
+  let workload = "obs/" ^ name in
+  check_eq ~workload "atoms"
+    (Instance.cardinal off.Chase.instance)
+    (Instance.cardinal on.Chase.instance);
+  check_eq ~workload "depth" off.Chase.depth on.Chase.depth;
+  Json.Obj
+    [
+      ("kind", Json.String "obs");
+      ("name", Json.String name);
+      ("max_depth", Json.Int b.depth);
+      ("max_atoms", Json.Int b.atoms);
+      ("atoms", Json.Int (Instance.cardinal on.Chase.instance));
+      ("events", Json.Int events);
+      ("events_dropped", Json.Int dropped);
+      ("before_us", Json.Int on_us);
+      ("after_us", Json.Int off_us);
+      ("speedup_x100", Json.Int (speedup_x100 ~before:on_us ~after:off_us));
+    ]
+
 (* Planner-vs-interpreter rows: the same indexed engines (PR 2-3) run
    once on the interpreted Hom search (Exec disabled — exactly the PR-3
    hot path) and once on the compiled join plans, so speedup_x100 is the
@@ -768,6 +822,30 @@ let contains s sub =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
+(* Host metadata (bench_chase v2): makes the PR-8 caveat — a
+   single-core container measures coordination overhead, not scaling —
+   machine-readable, and lets bench-diff refuse to hard-fail a
+   comparison across differing hosts. *)
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let host_json () =
+  Json.Obj
+    [
+      ("cores", Json.Int (Domain.recommended_domain_count ()));
+      ("ocaml_version", Json.String Sys.ocaml_version);
+      ("os_type", Json.String Sys.os_type);
+      ("git_describe", Json.String (git_describe ()));
+    ]
+
 let run_all ~smoke ~only =
   let sel name = match only with None -> true | Some s -> contains name s in
   let reps = if smoke then 1 else 3 in
@@ -868,6 +946,15 @@ let run_all ~smoke ~only =
     |> List.filter (fun (n, _, _) -> sel ("provenance/" ^ n))
     |> List.map (fun w -> provenance_workload ~reps w ~smoke)
   in
+  let obs_rows =
+    [
+      ("example1", { depth = 32; atoms = 20000 }, { depth = 8; atoms = 500 });
+      ("dense", { depth = 8; atoms = 20000 }, { depth = 5; atoms = 500 });
+      ("inclusion", { depth = 300; atoms = 20000 }, { depth = 30; atoms = 500 });
+    ]
+    |> List.filter (fun (n, _, _) -> sel ("obs/" ^ n))
+    |> List.map (fun w -> obs_workload ~reps w ~smoke)
+  in
   let intern_rows =
     (if sel "intern/hom_membership" then
        [
@@ -918,8 +1005,9 @@ let run_all ~smoke ~only =
   in
   Json.Obj
     [
-      ("schema", Json.String "nocliques/bench_chase/v1");
+      ("schema", Json.String "nocliques/bench_chase/v2");
       ("smoke", Json.Bool smoke);
+      ("host", host_json ());
       ("time_unit", Json.String "us");
       ( "note",
         Json.String
@@ -943,13 +1031,19 @@ let run_all ~smoke ~only =
            worker-domain pool; [cores] is the host's available core \
            count — with cores = 1 the domains time-slice a single core \
            and the jobs > 1 points measure coordination overhead, not \
-           scaling. speedup_x100 = 100 * before/after." );
+           scaling. obs rows: before = chase with every profiling layer \
+           recording (telemetry + metrics + event ring), after = all \
+           off, so speedup_x100 is the recording overhead (100 = free). \
+           v2 adds the host block (cores, ocaml_version, os_type, git \
+           describe) consumed by `nocliques debug bench-diff`, which \
+           only hard-fails comparisons between runs whose host blocks \
+           match. speedup_x100 = 100 * before/after." );
       ( "workloads",
         Json.List
           (chase_rows @ datalog_rows @ hom_rows @ fm_rows @ rewrite_rows
-          @ classify_rows @ provenance_rows @ intern_rows @ plan_chase_rows
-          @ plan_hom_rows @ plan_datalog_rows @ par_chase_rows
-          @ par_datalog_rows) );
+          @ classify_rows @ provenance_rows @ obs_rows @ intern_rows
+          @ plan_chase_rows @ plan_hom_rows @ plan_datalog_rows
+          @ par_chase_rows @ par_datalog_rows) );
     ]
 
 let summarize doc =

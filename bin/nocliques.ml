@@ -36,6 +36,19 @@ module Certificate = Nca_core.Certificate
 module Proof_report = Nca_analysis.Proof_report
 module Termination = Nca_analysis.Termination
 module Pool = Nca_chase.Pool
+module Events = Nca_obs.Events
+module Metrics = Nca_obs.Metrics
+module Trace_export = Nca_obs.Trace_export
+
+(* The memory gauges of the v6 stats schema: [Nca_obs] sits below the
+   term layer, so the process-wide occupancy probes are registered here
+   rather than imported there. Sampled at span exits when metrics
+   recording is on. *)
+let () =
+  Metrics.register_sampler "names.live_bytes" Names.live_bytes;
+  Metrics.register_sampler "atoms.count" Atom.count;
+  Metrics.register_sampler "atoms.shard_max_depth" (fun () ->
+      List.fold_left (fun m (_, depth) -> max m depth) 0 (Atom.shard_stats ()))
 
 (* Exit codes: 0 ok, 1 analysis/stage failure, 2 usage error (Cmdliner),
    3 budget exhausted before a verdict. *)
@@ -104,6 +117,8 @@ let edge_arg =
 type obs = {
   trace : bool;
   stats_json : bool;
+  trace_json : string option;
+  flame : string option;
   timeout : float option;
   provenance : bool;
   no_planner : bool;
@@ -125,7 +140,28 @@ let obs_term =
       & info [ "stats-json" ]
           ~doc:
             "Print the telemetry snapshot as one line of JSON (schema \
-             nocliques/stats/v5) to stdout after the run.")
+             nocliques/stats/v6) to stdout after the run.")
+  in
+  let trace_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:
+            "Record a per-domain event timeline and write it as Chrome \
+             trace-event JSON to $(docv) ($(b,-) for stdout) — loadable \
+             in Perfetto or chrome://tracing, one track per domain. \
+             Written even when the run stops on an exhausted budget.")
+  in
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Record the event timeline and write folded stacks (self-time \
+             per stack, flamegraph.pl / speedscope input) to $(docv) \
+             ($(b,-) for stdout).")
   in
   let timeout_arg =
     Arg.(
@@ -168,19 +204,47 @@ let obs_term =
              default) is the plain sequential engine.")
   in
   Cterm.(
-    const (fun trace stats_json timeout provenance no_planner jobs ->
+    const (fun trace stats_json trace_json flame timeout provenance
+               no_planner jobs ->
         if jobs < 1 then begin
           Fmt.epr "nocliques: --jobs must be >= 1 (got %d)@." jobs;
           Stdlib.exit 2
         end;
-        { trace; stats_json; timeout; provenance; no_planner; jobs })
-    $ trace_arg $ stats_json_arg $ timeout_arg $ provenance_arg
-    $ no_planner_arg $ jobs_arg)
+        {
+          trace;
+          stats_json;
+          trace_json;
+          flame;
+          timeout;
+          provenance;
+          no_planner;
+          jobs;
+        })
+    $ trace_arg $ stats_json_arg $ trace_json_arg $ flame_arg $ timeout_arg
+    $ provenance_arg $ no_planner_arg $ jobs_arg)
 
 let budget_of obs =
   match obs.timeout with
   | None -> Budget.unlimited
   | Some timeout_s -> Budget.v ~timeout_s ()
+
+let write_out path content =
+  match path with
+  | "-" -> print_string content
+  | path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content)
+
+(* NOCLIQUES_SCRUB_TIMES=1 zeroes every timing-dependent field of the
+   observability reports (span times, event timestamps, histogram values,
+   memory gauges) so --trace / --trace-json / --stats-json output is
+   byte-stable and golden-pinnable. *)
+let scrub_times_requested () =
+  match Sys.getenv_opt "NOCLIQUES_SCRUB_TIMES" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
 
 (* Run a subcommand body with telemetry enabled when requested; the trace
    goes to stderr (diagnostics channel), the JSON snapshot to stdout
@@ -188,27 +252,60 @@ let budget_of obs =
    the worker pool of a [--jobs N] run ([None] at jobs 1) and threads it
    to the engines it chooses to parallelize; the pool is shut down — and
    its accounting captured for the stats payload — before any report is
-   printed, also on exceptions. *)
+   printed, also on exceptions.
+
+   Every report is emitted from the [Fun.protect] epilogue, so it runs on
+   any path that leaves the body by returning or raising — in particular
+   the budget-stop paths that return exit code 3: a timed-out chase still
+   yields its partial timeline and stats. (Corollary for command bodies:
+   return a status, never [Stdlib.exit], which skips finalizers.) *)
 let with_obs obs f =
   let recording = obs.trace || obs.stats_json in
+  let tracing = obs.trace_json <> None || obs.flame <> None in
   if obs.no_planner then Nca_plan.Exec.set_enabled false;
   if recording then Telemetry.enable ();
+  (* --stats-json implies the v6 histograms/memory blocks; the timeline
+     ring only runs when an export asked for it *)
+  if recording || tracing then Metrics.enable ();
+  if tracing then Events.enable ();
   if obs.provenance then Provenance.enable ();
   let pool = if obs.jobs > 1 then Some (Pool.create ~jobs:obs.jobs) else None in
   Fun.protect
     ~finally:(fun () ->
       let parallel = Option.map Pool.stats pool in
       Option.iter Pool.shutdown pool;
+      let scrub = scrub_times_requested () in
+      if tracing then begin
+        let snap = Events.snapshot () in
+        Events.disable ();
+        let snap = if scrub then Events.scrub_times snap else snap in
+        Option.iter
+          (fun path ->
+            write_out path (Trace_export.chrome_json snap ^ "\n"))
+          obs.trace_json;
+        Option.iter
+          (fun path -> write_out path (Trace_export.folded snap))
+          obs.flame
+      end;
+      let metrics =
+        if recording || tracing then begin
+          let m = Metrics.snapshot () in
+          Metrics.disable ();
+          Some (if scrub then Metrics.scrub m else m)
+        end
+        else None
+      in
       (* snapshot while the provenance store is still live: the stats-json
          provenance object reads the ambient store *)
       if recording then begin
         let snap = Telemetry.snapshot () in
         Telemetry.disable ();
+        let snap = if scrub then Telemetry.scrub_times snap else snap in
         if obs.trace then Fmt.epr "%a@." Telemetry.pp_snapshot snap;
         if obs.stats_json then
           Fmt.pr "%s@."
             (Json.to_string
-               (Nca_analysis.Obs_report.of_snapshot ?parallel snap))
+               (Nca_analysis.Obs_report.of_snapshot ?metrics ?parallel snap))
       end;
       if obs.provenance then Provenance.disable ())
     (fun () -> f pool)
@@ -258,15 +355,6 @@ let proof_out_term =
              for stdout). Implies --provenance.")
   in
   Cterm.(const (fun j d -> (j, d)) $ json_arg $ dot_arg)
-
-let write_out path content =
-  match path with
-  | "-" -> print_string content
-  | path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc content)
 
 (* force recording whenever a proof artefact or fact-level explain was
    requested, so the store is populated by the time we read it back *)
@@ -889,21 +977,23 @@ let classify_cmd =
     let t = Termination.classify ~budget ?pool prog.rules in
     (* referee discipline: re-verify the certificate or witness
        independently before emitting anything — a rejected certificate
-       is an analysis failure, not a verdict *)
-    (match Termination.check prog.rules t.Termination.verdict with
-    | Ok () -> ()
+       is an analysis failure, not a verdict. Failure is a returned
+       status, not [exit]: exiting here would skip the [with_obs]
+       epilogue and lose the --stats-json/--trace-json payloads. *)
+    match Termination.check prog.rules t.Termination.verdict with
     | Error reason ->
         Fmt.epr "nocliques: certificate rejected: %s@." reason;
-        exit 1);
-    if json then Fmt.pr "%s@." (Json.to_string (Termination.to_json t))
-    else Fmt.pr "%a@." Termination.pp t;
-    match t.Termination.verdict with
-    | Termination.Terminating _ -> 0
-    | Termination.Non_terminating _ -> 1
-    | Termination.Unknown e ->
-        Fmt.epr "nocliques: classification inconclusive: %a@." Exhausted.pp
-          e;
-        exit_budget
+        1
+    | Ok () -> (
+        if json then Fmt.pr "%s@." (Json.to_string (Termination.to_json t))
+        else Fmt.pr "%a@." Termination.pp t;
+        match t.Termination.verdict with
+        | Termination.Terminating _ -> 0
+        | Termination.Non_terminating _ -> 1
+        | Termination.Unknown e ->
+            Fmt.epr "nocliques: classification inconclusive: %a@."
+              Exhausted.pp e;
+            exit_budget)
   in
   let json_arg =
     Arg.(
@@ -1309,10 +1399,138 @@ let termination_graph_cmd =
           Graphviz DOT.")
     Cterm.(const run $ file_arg $ which_arg $ out_arg)
 
+(* debug bench-diff: the first automated guard on the perf trajectory.
+   Compares two BENCH_chase.json-shaped documents row by row (key =
+   kind/name, metric = after_us, or jobs1_us for the par rows) and
+   exits nonzero when any shared workload slowed past the threshold —
+   unless the two host blocks differ, in which case a cross-machine
+   comparison can only warn. *)
+let bench_diff_cmd =
+  let run old_path new_path threshold warn_only =
+    let parse path =
+      match Json.parse (read_file path) with
+      | Ok doc -> doc
+      | Error msg ->
+          Fmt.epr "nocliques: %s: invalid JSON: %s@." path msg;
+          Stdlib.exit 2
+    in
+    let old_doc = parse old_path and new_doc = parse new_path in
+    let rows path doc =
+      match Option.bind (Json.member "workloads" doc) Json.to_list with
+      | Some rows -> rows
+      | None ->
+          Fmt.epr "nocliques: %s: not a bench document (no workloads)@." path;
+          Stdlib.exit 2
+    in
+    let str k row = Option.bind (Json.member k row) Json.to_str in
+    let key row =
+      Fmt.str "%s/%s"
+        (Option.value ~default:"?" (str "kind" row))
+        (Option.value ~default:"?" (str "name" row))
+    in
+    let metric row =
+      let int k = Option.bind (Json.member k row) Json.to_int in
+      match int "after_us" with Some v -> Some v | None -> int "jobs1_us"
+    in
+    (* host comparability (bench_chase v2): absent or differing host
+       metadata — or a smoke run against a full run — means the timings
+       are not commensurable and the diff can only warn *)
+    let host doc =
+      match Json.member "host" doc with
+      | Some h ->
+          Some
+            ( Option.bind (Json.member "cores" h) Json.to_int,
+              Option.bind (Json.member "ocaml_version" h) Json.to_str )
+      | None -> None
+    in
+    let smoke doc =
+      match Json.member "smoke" doc with Some (Json.Bool b) -> b | _ -> false
+    in
+    let incomparable =
+      if smoke old_doc <> smoke new_doc then
+        Some "smoke run vs full run"
+      else
+        match (host old_doc, host new_doc) with
+        | Some h1, Some h2 when h1 = h2 -> None
+        | Some _, Some _ -> Some "host blocks differ"
+        | None, _ | _, None -> Some "host metadata missing (bench < v2)"
+    in
+    let old_tbl = Hashtbl.create 64 in
+    List.iter
+      (fun r -> Hashtbl.replace old_tbl (key r) r)
+      (rows old_path old_doc);
+    let regressions = ref 0 in
+    List.iter
+      (fun row ->
+        let k = key row in
+        match Hashtbl.find_opt old_tbl k with
+        | None -> Fmt.pr "%-34s %28s (new row)@." k ""
+        | Some old_row -> (
+            Hashtbl.remove old_tbl k;
+            match (metric old_row, metric row) with
+            | Some o, Some n ->
+                let delta = ((n - o) * 100) / max 1 o in
+                let slower = delta > threshold in
+                if slower then incr regressions;
+                Fmt.pr "%-34s %10d us -> %10d us  %+4d%%%s@." k o n delta
+                  (if slower then "  SLOWER" else "")
+            | _ -> Fmt.pr "%-34s %28s (no timing)@." k ""))
+      (rows new_path new_doc);
+    Hashtbl.fold (fun k _ acc -> k :: acc) old_tbl []
+    |> List.sort String.compare
+    |> List.iter (fun k -> Fmt.pr "%-34s %28s (removed)@." k "");
+    if !regressions = 0 then 0
+    else begin
+      Fmt.epr "nocliques: %d workload(s) slower than the %d%% threshold@."
+        !regressions threshold;
+      match incomparable with
+      | Some reason when not warn_only ->
+          Fmt.epr "nocliques: %s: warn only@." reason;
+          0
+      | _ -> if warn_only then 0 else 1
+    end
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline bench document.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate bench document.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Per-workload slowdown tolerance in percent; rows whose \
+             timing grew by more than $(docv)% count as regressions.")
+  in
+  let warn_only_arg =
+    Arg.(
+      value & flag
+      & info [ "warn-only" ]
+          ~doc:
+            "Report regressions but always exit 0 (for noisy CI \
+             containers).")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_chase.json documents workload by workload \
+          and fail past a slowdown threshold. Exits 1 only when the two \
+          documents' host blocks match (a cross-host or smoke-vs-full \
+          comparison can only warn) and --warn-only is absent.")
+    Cterm.(const run $ old_arg $ new_arg $ threshold_arg $ warn_only_arg)
+
 let debug_cmd =
   Cmd.group
     (Cmd.info "debug" ~doc:"Introspection helpers for the engine internals.")
-    [ intern_stats_cmd; plan_cmd; termination_graph_cmd ]
+    [ intern_stats_cmd; plan_cmd; termination_graph_cmd; bench_diff_cmd ]
 
 let () =
   let doc = "the No-Cliques-Allowed toolkit for existential rules" in

@@ -1,4 +1,4 @@
-let schema = "nocliques/stats/v5"
+let schema = "nocliques/stats/v6"
 
 let rec span_json (s : Nca_obs.Telemetry.span_stats) =
   Json.Obj
@@ -68,7 +68,34 @@ let parallel_json = function
                  s.per_domain) );
         ]
 
-let of_snapshot ?parallel (snap : Nca_obs.Telemetry.snapshot) =
+let histo_json (s : Nca_obs.Metrics.snapshot) =
+  Json.Obj
+    (List.map
+       (fun (name, h) ->
+         let s = Nca_obs.Metrics.Histo.summary h in
+         ( name,
+           Json.Obj
+             [
+               ("count", Json.Int s.Nca_obs.Metrics.Histo.count);
+               ("sum", Json.Int s.Nca_obs.Metrics.Histo.sum);
+               ("max", Json.Int s.Nca_obs.Metrics.Histo.max);
+               ("p50", Json.Int s.Nca_obs.Metrics.Histo.p50);
+               ("p90", Json.Int s.Nca_obs.Metrics.Histo.p90);
+               ("p99", Json.Int s.Nca_obs.Metrics.Histo.p99);
+             ] ))
+       s.Nca_obs.Metrics.histos)
+
+let memory_json (s : Nca_obs.Metrics.snapshot) =
+  Json.Obj
+    (List.map
+       (fun (name, (last, mx)) ->
+         (name, Json.Obj [ ("last", Json.Int last); ("max", Json.Int mx) ]))
+       s.Nca_obs.Metrics.gauges)
+
+let of_snapshot ?metrics ?parallel (snap : Nca_obs.Telemetry.snapshot) =
+  let metrics =
+    match metrics with Some m -> m | None -> Nca_obs.Metrics.snapshot ()
+  in
   Json.Obj
     [
       ("schema", Json.String schema);
@@ -78,5 +105,7 @@ let of_snapshot ?parallel (snap : Nca_obs.Telemetry.snapshot) =
       ("sat", sat_json ());
       ("parallel", parallel_json parallel);
       ("provenance", provenance_json ());
+      ("histograms", histo_json metrics);
+      ("memory", memory_json metrics);
       ("spans", Json.List (List.map span_json snap.spans));
     ]

@@ -32,6 +32,10 @@ let satisfied tr inst =
 
 module Keytbl = Hashtbl.Make (Trigger.Key)
 
+(* timeline labels, interned once at load so tracing never re-hashes *)
+let ev_round = Nca_obs.Events.label "chase.round.boundary"
+let ev_stop = Nca_obs.Events.label "budget.stop"
+
 (* Delta-driven: each round only enumerates the triggers whose body uses
    an atom created in the previous round ([Trigger.all_delta]); triggers
    entirely over older levels were enumerated — and recorded in [fired] —
@@ -66,8 +70,12 @@ let run ?(variant = Oblivious) ?max_depth ?max_atoms
     in
     match stop with
     | Some _ ->
+        Nca_obs.Events.instant ev_stop;
         finish current levels_rev stamps prov ~saturated:false ~stopped:stop
     | None -> (
+        Nca_obs.Events.instant ev_round ~arg:level;
+        let mt = Nca_obs.Metrics.enabled () in
+        let t0 = if mt then Nca_obs.Events.now_us () else 0 in
         let round =
           Nca_obs.Telemetry.span "chase.round" @@ fun () ->
           let raw = Trigger.all_delta ?pool ?gate rules ~total:current ~delta in
@@ -148,13 +156,19 @@ let run ?(variant = Oblivious) ?max_depth ?max_atoms
                 ((current, Instance.empty), stamps, prov) triggers
             in
             (* the [List.length] walk is only worth paying when recording *)
-            if Nca_obs.Telemetry.enabled () then begin
-              Nca_obs.Telemetry.count "chase.triggers" (List.length triggers);
-              Nca_obs.Telemetry.count "chase.atoms" (Instance.cardinal delta')
+            if Nca_obs.Telemetry.enabled () || Nca_obs.Metrics.enabled ()
+            then begin
+              let ntr = List.length triggers in
+              Nca_obs.Telemetry.count "chase.triggers" ntr;
+              Nca_obs.Telemetry.count "chase.atoms" (Instance.cardinal delta');
+              Nca_obs.Metrics.observe "chase.trigger_batch" ntr
             end;
             `Round (next, delta', stamps, prov)
           end
         in
+        if mt then
+          Nca_obs.Metrics.observe "chase.round_us"
+            (Nca_obs.Events.now_us () - t0);
         match round with
         | `Stopped err ->
             finish current levels_rev stamps prov ~saturated:false

@@ -48,6 +48,9 @@ end)
 
 exception Gate_tripped
 
+let ev_round = Nca_obs.Events.label "datalog.round.boundary"
+let ev_stop = Nca_obs.Events.label "budget.stop"
+
 (* One semi-naive round: every homomorphism of a rule body into [total]
    that uses at least one [delta] atom, via the same pivot stratification
    as [Trigger.all_delta] — body positions before the pivot range over
@@ -179,12 +182,20 @@ let saturate_steps ?pool ~budget start rules =
                 Nca_obs.Budget.atoms budget ~used:(Instance.cardinal total))
       in
       match stop with
-      | Some err -> Error { err; partial = total; rounds = n }
+      | Some err ->
+          Nca_obs.Events.instant ev_stop;
+          Error { err; partial = total; rounds = n }
       | None -> (
+          Nca_obs.Events.instant ev_round ~arg:n;
+          let mt = Nca_obs.Metrics.enabled () in
+          let t0 = if mt then Nca_obs.Events.now_us () else 0 in
           let fresh =
             Nca_obs.Telemetry.span "datalog.round" (fun () ->
                 round ~round_no:(n + 1) ?pool ?gate rules ~total ~delta)
           in
+          if mt then
+            Nca_obs.Metrics.observe "datalog.round_us"
+              (Nca_obs.Events.now_us () - t0);
           match Option.bind gate Nca_obs.Budget.Gate.tripped with
           | Some err -> Error { err; partial = total; rounds = n }
           | None ->

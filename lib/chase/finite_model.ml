@@ -65,6 +65,8 @@ let fresh_constants n =
   in
   go 0
 
+let ev_dfs = Nca_obs.Events.label "fm.dfs"
+
 let effective_budget ?max_steps budget =
   Nca_obs.Budget.intersect budget
     (Nca_obs.Budget.v ~max_steps:(Option.value ~default:200000 max_steps) ())
@@ -124,6 +126,7 @@ let search_dfs ~budget ~domain ?forbid start rules =
       | exception Stop e -> Exhausted e
   in
   Nca_obs.Telemetry.count "finite_model.nodes" !steps;
+  Nca_obs.Events.instant ev_dfs ~arg:!steps;
   outcome
 
 module Sat_engine = Nca_sat.Fm_inst.Make (Nca_sat.Dpll)

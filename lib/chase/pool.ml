@@ -1,4 +1,6 @@
 module Telemetry = Nca_obs.Telemetry
+module Events = Nca_obs.Events
+module Metrics = Nca_obs.Metrics
 
 (* A fixed crew of worker domains executing indexed task batches.
 
@@ -33,6 +35,8 @@ type batch = {
   next : int Atomic.t;
   run : int -> unit;
   telemetry : bool;
+  events : bool;
+  metrics : bool;
 }
 
 type t = {
@@ -48,18 +52,28 @@ type t = {
   mutable batches : int;
   per_domain : slot array; (* slot 0 = the calling domain *)
   snaps : Telemetry.snapshot option array;
+  ev_snaps : Events.snapshot option array;
+  mt_snaps : Metrics.snapshot option array;
 }
 
 let jobs t = t.jobs
 
 let now_us () = int_of_float (Unix.gettimeofday () *. 1_000_000.)
+let ev_batch = Events.label "pool.batch"
+let ev_participate = Events.label "pool.participate"
 
 (* Claim and run tasks until the batch counter runs dry. Only the
    owning participant touches its [per_domain] slot, so the accounting
-   needs no lock. *)
+   needs no lock. Workers get modest private event rings per batch:
+   enumeration tasks emit few events, and the coordinator absorbs the
+   ring at the barrier anyway. *)
 let participate t slot b =
   let t0 = now_us () in
-  if b.telemetry && slot > 0 then Telemetry.enable ();
+  if slot > 0 then begin
+    if b.telemetry then Telemetry.enable ();
+    if b.events then Events.enable ~capacity:8192 ();
+    if b.metrics then Metrics.enable ()
+  end;
   let rec drain n =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.count then begin
@@ -69,9 +83,22 @@ let participate t slot b =
     else n
   in
   let n = drain 0 in
-  if b.telemetry && slot > 0 then begin
-    t.snaps.(slot) <- Some (Telemetry.snapshot ());
-    Telemetry.disable ()
+  (* one instant per participant per batch, arg = tasks claimed: the
+     trace shows how the batch actually split across domains *)
+  Events.instant ev_participate ~arg:n;
+  if slot > 0 then begin
+    if b.telemetry then begin
+      t.snaps.(slot) <- Some (Telemetry.snapshot ());
+      Telemetry.disable ()
+    end;
+    if b.events then begin
+      t.ev_snaps.(slot) <- Some (Events.snapshot ());
+      Events.disable ()
+    end;
+    if b.metrics then begin
+      t.mt_snaps.(slot) <- Some (Metrics.snapshot ());
+      Metrics.disable ()
+    end
   end;
   let s = t.per_domain.(slot) in
   s.tasks <- s.tasks + n;
@@ -114,6 +141,8 @@ let create ~jobs =
       batches = 0;
       per_domain = Array.init jobs (fun _ -> { tasks = 0; busy_us = 0 });
       snaps = Array.make jobs None;
+      ev_snaps = Array.make jobs None;
+      mt_snaps = Array.make jobs None;
     }
   in
   t.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
@@ -154,8 +183,11 @@ let map t n f =
         next = Atomic.make 0;
         run;
         telemetry = Telemetry.enabled ();
+        events = Events.enabled ();
+        metrics = Metrics.enabled ();
       }
     in
+    Events.instant ev_batch ~arg:n;
     if t.jobs = 1 then begin
       t.batches <- t.batches + 1;
       participate t 0 b
@@ -184,7 +216,27 @@ let map t n f =
                 Telemetry.absorb snap;
                 t.snaps.(i) <- None
             | _ -> ())
-          t.snaps
+          t.snaps;
+      (* worker events land on track [slot]: slot indices are stable
+         run-to-run, unlike raw Domain ids *)
+      if b.events then
+        Array.iteri
+          (fun i s ->
+            match s with
+            | Some snap when i > 0 ->
+                Events.absorb ~tid:i snap;
+                t.ev_snaps.(i) <- None
+            | _ -> ())
+          t.ev_snaps;
+      if b.metrics then
+        Array.iteri
+          (fun i s ->
+            match s with
+            | Some snap when i > 0 ->
+                Metrics.absorb snap;
+                t.mt_snaps.(i) <- None
+            | _ -> ())
+          t.mt_snaps
     end;
     (match Atomic.get failure with
     | Some (_, e) -> raise e

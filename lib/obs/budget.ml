@@ -143,7 +143,12 @@ module Gate = struct
       mask = pow2 1 - 1;
     }
 
-  let trip g e = ignore (Atomic.compare_and_set g.stop None (Some e) : bool)
+  let ev_trip = Events.label "budget.trip"
+
+  (* only the winning CAS emits the instant: one trip, one event, no
+     matter how many domains race past their checkpoints *)
+  let trip g e =
+    if Atomic.compare_and_set g.stop None (Some e) then Events.instant ev_trip
   let tripped g = Atomic.get g.stop
 
   let step g =

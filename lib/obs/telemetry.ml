@@ -56,24 +56,42 @@ let find_child parent name =
       parent.children <- c :: parent.children;
       c
 
+(* Spans also drive the deeper profiling layers when those are on:
+   each enter/exit becomes an {!Events} timeline record, and each exit
+   samples the {!Metrics} memory gauges. The disabled fast path is
+   three domain-local slot reads (one per layer) — still allocation-
+   free and branch-predictable at round/stage granularity. *)
 let span name f =
-  match !(slot ()) with
-  | None -> f ()
-  | Some s ->
-      let parent = match s.stack with [] -> s.root | n :: _ -> n in
-      let node = find_child parent name in
-      node.calls <- node.calls + 1;
-      s.stack <- node :: s.stack;
-      let t0 = Unix.gettimeofday () in
-      Fun.protect
-        ~finally:(fun () ->
-          node.time_us <-
-            node.time_us
-            + int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.);
-          match s.stack with
-          | top :: rest when top == node -> s.stack <- rest
-          | _ -> ())
-        f
+  let ev = Events.enabled () in
+  let mt = Metrics.enabled () in
+  let st = !(slot ()) in
+  if Option.is_none st && (not ev) && not mt then f ()
+  else begin
+    let lbl = if ev then Events.label name else 0 in
+    if ev then Events.enter lbl;
+    let deep_exit () =
+      if mt then Metrics.sample_memory ();
+      if ev then Events.leave lbl
+    in
+    match st with
+    | None -> Fun.protect ~finally:deep_exit f
+    | Some s ->
+        let parent = match s.stack with [] -> s.root | n :: _ -> n in
+        let node = find_child parent name in
+        node.calls <- node.calls + 1;
+        s.stack <- node :: s.stack;
+        let t0 = Unix.gettimeofday () in
+        Fun.protect
+          ~finally:(fun () ->
+            node.time_us <-
+              node.time_us
+              + int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.);
+            (match s.stack with
+            | top :: rest when top == node -> s.stack <- rest
+            | _ -> ());
+            deep_exit ())
+          f
+  end
 
 type span_stats = {
   span_name : string;

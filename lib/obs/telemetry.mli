@@ -41,7 +41,12 @@ val span : string -> (unit -> 'a) -> 'a
 (** [span name f] times [f] under span [name], nested inside the
     innermost open span. Re-entering a name under the same parent
     accumulates (calls, total time). When disabled, [span name f] is
-    [f ()]. Exceptions propagate; the span is closed either way. *)
+    [f ()]. Exceptions propagate; the span is closed either way.
+
+    Spans also feed the deeper profiling layers when those are enabled
+    on the calling domain: enter/exit become {!Events} timeline records
+    and every exit samples the {!Metrics} memory gauges — so enabling
+    [Events] alone (without telemetry) still yields a full timeline. *)
 
 (** {1 Snapshots} *)
 

@@ -1,6 +1,8 @@
 open Nca_logic
 module Telemetry = Nca_obs.Telemetry
 
+let ev_miss = Nca_obs.Events.label "plan.cache.miss"
+
 (* The memo table is global (plans are pure functions of the body's
    hash-consed atom ids) and shared by every domain, so lookups and
    insertions serialise on one mutex. The critical section includes the
@@ -28,6 +30,7 @@ let find_or_compile ?stats body =
   | None ->
       incr misses;
       Telemetry.incr "plan.cache.miss";
+      Nca_obs.Events.instant ev_miss;
       let plan =
         Telemetry.span "plan.compile" (fun () -> Plan.compile ?stats body)
       in

@@ -89,7 +89,9 @@ let flush c =
     Telemetry.count "plan.probes" c.probes;
     Telemetry.count "plan.intersections" c.inters;
     Telemetry.count "plan.matches" c.matched
-  end
+  end;
+  (* per-execution probe fan-out distribution, not just the total *)
+  Nca_obs.Metrics.observe "plan.probe_fanout" c.probes
 
 (* shared by every non-injective run; never written in that mode *)
 let no_used : (int, unit) Hashtbl.t = Hashtbl.create 1

@@ -11,6 +11,8 @@
 module Lit = Solver_intf.Lit
 module Budget = Nca_obs.Budget
 
+let ev_restart = Nca_obs.Events.label "sat.restart"
+
 type value = Vundef | Vtrue | Vfalse
 
 type t = {
@@ -332,6 +334,7 @@ let solve ?(budget = Budget.unlimited) s =
           if !conflicts_since >= !restart_limit then begin
             conflicts_since := 0;
             restart_limit := !restart_limit * 2;
+            Nca_obs.Events.instant ev_restart ~arg:s.conflicts;
             backjump s 0
           end
         end

@@ -272,7 +272,7 @@ let test_stats_json_golden () =
       (Telemetry.scrub_times (Telemetry.snapshot ()))
   in
   check_str "stats json shape"
-    "{\"schema\":\"nocliques/stats/v5\",\
+    "{\"schema\":\"nocliques/stats/v6\",\
      \"counters\":{\"datalog.atoms\":0,\"datalog.rounds\":1,\
      \"plan.cache.hit\":1,\"plan.cache.miss\":1,\"plan.exec\":2,\
      \"plan.intersections\":0,\"plan.matches\":0,\"plan.probes\":1},\
@@ -282,6 +282,7 @@ let test_stats_json_golden () =
      \"decisions\":0,\"conflicts\":0,\"propagations\":0},\
      \"parallel\":{\"jobs\":1,\"batches\":0,\"domains\":[]},\
      \"provenance\":{\"facts\":0,\"store_bytes\":0,\"max_depth\":0},\
+     \"histograms\":{},\"memory\":{},\
      \"spans\":[{\"name\":\"datalog.saturate\",\"calls\":1,\"time_us\":0,\
      \"children\":[{\"name\":\"datalog.round\",\"calls\":1,\"time_us\":0,\
      \"children\":[{\"name\":\"plan.compile\",\"calls\":1,\"time_us\":0,\
@@ -307,10 +308,152 @@ let test_chase_counters_recorded () =
   check "triggers were counted" true (counter "chase.triggers" > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Profiling layer: event ring, histograms, trace export *)
+
+module Events = Nca_obs.Events
+module Metrics = Nca_obs.Metrics
+module Trace_export = Nca_obs.Trace_export
+module Pool = Nca_chase.Pool
+module Json = Nca_analysis.Json
+
+let ring_cap = 16
+
+(* Wrap-around overwrites the oldest events: the snapshot holds the
+   newest [min n cap] instants in order and counts the rest as drops. *)
+let prop_ring_wraparound =
+  QCheck.Test.make ~name:"ring wrap-around keeps newest, counts drops exactly"
+    ~count:100
+    QCheck.(int_range 0 (3 * ring_cap))
+    (fun n ->
+      Events.enable ~capacity:ring_cap ();
+      let lbl = Events.label "test.ring" in
+      for i = 0 to n - 1 do
+        Events.instant ~arg:i lbl
+      done;
+      let snap = Events.snapshot () in
+      Events.disable ();
+      let kept = min n ring_cap in
+      snap.Events.dropped = max 0 (n - ring_cap)
+      && List.length snap.Events.events = kept
+      && List.for_all2
+           (fun (e : Events.event) i ->
+             e.arg = i && e.label = lbl && e.phase = Events.Instant
+             && e.tid = 0)
+           snap.Events.events
+           (List.init kept (fun i -> n - kept + i)))
+
+(* A log₂ histogram's percentile is exact up to bucket resolution: it
+   must land in the same bucket as the true rank-order statistic of the
+   observations, and count/sum/max are exact. *)
+let prop_histo_oracle =
+  QCheck.Test.make
+    ~name:"histogram matches sorted-list oracle up to bucket resolution"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 1_000_000))
+    (fun vs ->
+      let h = Metrics.Histo.create () in
+      List.iter (Metrics.Histo.observe h) vs;
+      let sorted = List.sort compare vs in
+      let n = List.length vs in
+      let oracle p =
+        let rank = ((p * n) + 99) / 100 in
+        List.nth sorted (max 0 (rank - 1))
+      in
+      Metrics.Histo.count h = n
+      && Metrics.Histo.sum h = List.fold_left ( + ) 0 vs
+      && Metrics.Histo.max_value h = List.fold_left max 0 vs
+      && List.for_all
+           (fun p ->
+             let reported = Metrics.Histo.percentile h p in
+             Metrics.Histo.bucket_of reported
+             = Metrics.Histo.bucket_of (oracle p)
+             && reported >= oracle p
+             && reported <= Metrics.Histo.max_value h)
+           [ 50; 90; 99; 100 ])
+
+let assoc name fields = List.assoc_opt name fields
+
+let test_chrome_trace_shape () =
+  Events.enable ~capacity:64 ();
+  let l_span = Events.label "test.span"
+  and l_mark = Events.label "test.mark" in
+  Events.enter l_span;
+  Events.instant ~arg:7 l_mark;
+  Events.leave l_span;
+  let snap = Events.snapshot () in
+  Events.disable ();
+  match Json.parse (Trace_export.chrome_json snap) with
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  | Ok (Json.Obj fields) ->
+      check "droppedEvents = 0" true
+        (assoc "droppedEvents" fields = Some (Json.Int 0));
+      let events =
+        match assoc "traceEvents" fields with
+        | Some (Json.List es) -> es
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      check_int "three events" 3 (List.length events);
+      let phases =
+        List.map
+          (function
+            | Json.Obj f ->
+                check "has a name" true
+                  (match assoc "name" f with
+                  | Some (Json.String _) -> true
+                  | _ -> false);
+                check "pid = 1" true (assoc "pid" f = Some (Json.Int 1));
+                check "tid = 0" true (assoc "tid" f = Some (Json.Int 0));
+                check "has ts" true
+                  (match assoc "ts" f with
+                  | Some (Json.Int _) -> true
+                  | _ -> false);
+                (match assoc "ph" f with
+                | Some (Json.String p) -> p
+                | _ -> Alcotest.fail "no ph")
+            | _ -> Alcotest.fail "event is not an object")
+          events
+      in
+      check "phases are B, i, E" true (phases = [ "B"; "i"; "E" ])
+  | Ok _ -> Alcotest.fail "trace JSON is not an object"
+
+(* Every pool participant emits at least one event per batch, and
+   absorbed worker events carry the worker's slot index as track id —
+   so a [--jobs n] trace has exactly the tracks 0..n-1, stable across
+   runs. *)
+let test_tids_stable_across_jobs () =
+  List.iter
+    (fun jobs ->
+      Events.enable ~capacity:1024 ();
+      Pool.with_pool ~jobs (fun p ->
+          match p with
+          | None -> Alcotest.fail "pool did not start"
+          | Some pool -> ignore (Pool.map pool 64 (fun i -> i * i)));
+      let snap = Events.snapshot () in
+      Events.disable ();
+      let tids =
+        List.sort_uniq compare
+          (List.map (fun (e : Events.event) -> e.tid) snap.Events.events)
+      in
+      check
+        (Printf.sprintf "jobs %d: one track per domain" jobs)
+        true
+        (tids = List.init jobs Fun.id);
+      check
+        (Printf.sprintf "jobs %d: nothing dropped" jobs)
+        true
+        (snap.Events.dropped = 0))
+    [ 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
 
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_chase_budgeted_prefix; prop_datalog_partial_subset ]
+    [
+      prop_chase_budgeted_prefix;
+      prop_datalog_partial_subset;
+      prop_ring_wraparound;
+      prop_histo_oracle;
+    ]
 
 let () =
   let tc = Alcotest.test_case in
@@ -342,5 +485,10 @@ let () =
           tc "span nesting" `Quick test_span_nesting;
           tc "stats json golden" `Quick test_stats_json_golden;
           tc "chase counters" `Quick test_chase_counters_recorded;
+        ] );
+      ( "profiling",
+        [
+          tc "chrome trace shape" `Quick test_chrome_trace_shape;
+          tc "per-domain tids" `Quick test_tids_stable_across_jobs;
         ] );
     ]
